@@ -1,0 +1,42 @@
+/// \file ablation_allreduce.cpp
+/// \brief Ablation of §3.2 in isolation: the packed sparse allreduce
+/// (Algorithm 2) vs the straightforward one-dense-allreduce-per-node
+/// inter-grid reduction the paper argues against. Proposed algorithm,
+/// binary trees, everything else equal.
+
+#include "bench/bench_util.hpp"
+
+using namespace sptrsv;
+using namespace sptrsv::bench;
+
+int main() {
+  const MachineModel machine = MachineModel::cori_haswell();
+  SystemCache cache;
+  const FactoredSystem& fs =
+      cache.get(PaperMatrix::kS2D9pt2048, /*nd_levels=*/5, bench_scale());
+
+  std::printf("# Ablation — sparse allreduce (Alg 2) vs per-node dense allreduce\n");
+  std::printf("# proposed 3D algorithm, %s, s2D9pt2048; times are the Z phase\n",
+              machine.name.c_str());
+  Table t({"P", "Pz", "dense Z", "sparse Z", "Z speedup", "dense total",
+           "sparse total"});
+  const std::vector<std::pair<int, int>> configs =
+      full_sweep() ? std::vector<std::pair<int, int>>{{128, 4}, {128, 16}, {512, 4},
+                                                      {512, 16}, {2048, 16},
+                                                      {2048, 32}}
+                   : std::vector<std::pair<int, int>>{{128, 4}, {512, 16}, {2048, 32}};
+  for (const auto& [p, pz] : configs) {
+    const auto [px, py] = square_grid(p / pz);
+    const auto dense = run_cpu(fs, {px, py, pz}, Algorithm3d::kProposed, machine, 1,
+                               TreeKind::kBinary, /*sparse_zreduce=*/false);
+    const auto sparse = run_cpu(fs, {px, py, pz}, Algorithm3d::kProposed, machine, 1,
+                                TreeKind::kBinary, /*sparse_zreduce=*/true);
+    const double dz = dense.max(&RankPhaseTimes::z_time);
+    const double sz = sparse.max(&RankPhaseTimes::z_time);
+    t.add_row({std::to_string(p), std::to_string(pz), fmt_time(dz), fmt_time(sz),
+               fmt_ratio(dz / sz), fmt_time(dense.makespan),
+               fmt_time(sparse.makespan)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,39 @@
+/// \file ablation_sync.cpp
+/// \brief Ablation of §3.1 in isolation: the one-synchronization schedule
+/// with replicated computation (proposed) vs the O(log Pz)-synchronization
+/// level-by-level schedule (baseline), with binary communication trees
+/// enabled for BOTH so only the schedule differs.
+
+#include "bench/bench_util.hpp"
+
+using namespace sptrsv;
+using namespace sptrsv::bench;
+
+int main() {
+  const MachineModel machine = MachineModel::cori_haswell();
+  SystemCache cache;
+
+  std::printf("# Ablation — one-sync replicated schedule (§3.1) vs level-by-level,\n");
+  std::printf("# binary trees in both; %s\n", machine.name.c_str());
+  for (const PaperMatrix which :
+       {PaperMatrix::kS2D9pt2048, PaperMatrix::kNlpkkt80}) {
+    const FactoredSystem& fs = cache.get(which, /*nd_levels=*/5, bench_scale());
+    std::printf("\n## %s\n", paper_matrix_name(which).c_str());
+    Table t({"P", "Pz", "level-by-level", "one-sync", "speedup"});
+    const std::vector<std::pair<int, int>> configs =
+        full_sweep() ? std::vector<std::pair<int, int>>{{128, 4}, {128, 16}, {512, 8},
+                                                        {2048, 8}, {2048, 32}}
+                     : std::vector<std::pair<int, int>>{{128, 16}, {2048, 32}};
+    for (const auto& [p, pz] : configs) {
+      const auto [px, py] = square_grid(p / pz);
+      const auto base = run_cpu(fs, {px, py, pz}, Algorithm3d::kBaseline, machine, 1,
+                                TreeKind::kBinary);
+      const auto prop = run_cpu(fs, {px, py, pz}, Algorithm3d::kProposed, machine, 1,
+                                TreeKind::kBinary);
+      t.add_row({std::to_string(p), std::to_string(pz), fmt_time(base.makespan),
+                 fmt_time(prop.makespan), fmt_ratio(base.makespan / prop.makespan)});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+/// \file ablation_tree_vs_flat.cpp
+/// \brief Ablation of §3.3 in isolation: binary communication trees vs flat
+/// fan-out for the intra-grid communication, proposed algorithm, same
+/// everything else. The tree advantage grows with the 2D grid size (the
+/// root's O(P) serialized sends become O(log P) hops).
+
+#include "bench/bench_util.hpp"
+
+using namespace sptrsv;
+using namespace sptrsv::bench;
+
+int main() {
+  const MachineModel machine = MachineModel::cori_haswell();
+  SystemCache cache;
+  const FactoredSystem& fs =
+      cache.get(PaperMatrix::kS2D9pt2048, /*nd_levels=*/5, bench_scale());
+
+  std::printf("# Ablation — intra-grid binary trees [29] vs flat fan-out\n");
+  std::printf("# proposed 3D algorithm, %s, s2D9pt2048\n", machine.name.c_str());
+  Table t({"P", "Pz", "grid", "flat", "binary", "tree speedup"});
+  const std::vector<std::pair<int, int>> configs =
+      full_sweep() ? std::vector<std::pair<int, int>>{{128, 1}, {128, 4}, {512, 1},
+                                                      {512, 4}, {2048, 1}, {2048, 4},
+                                                      {2048, 16}}
+                   : std::vector<std::pair<int, int>>{{128, 1}, {512, 4}, {2048, 1},
+                                                      {2048, 16}};
+  for (const auto& [p, pz] : configs) {
+    const auto [px, py] = square_grid(p / pz);
+    const auto flat = run_cpu(fs, {px, py, pz}, Algorithm3d::kProposed, machine, 1,
+                              TreeKind::kFlat);
+    const auto tree = run_cpu(fs, {px, py, pz}, Algorithm3d::kProposed, machine, 1,
+                              TreeKind::kBinary);
+    t.add_row({std::to_string(p), std::to_string(pz),
+               std::to_string(px) + "x" + std::to_string(py),
+               fmt_time(flat.makespan), fmt_time(tree.makespan),
+               fmt_ratio(flat.makespan / tree.makespan)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,136 @@
+#pragma once
+/// \file bench_util.hpp
+/// \brief Shared helpers for the figure/table reproduction benches.
+///
+/// Every bench regenerates one table or figure of the paper: it sweeps the
+/// paper's parameters, runs the modeled solve, and prints the same series
+/// the paper plots (see DESIGN.md §4 and EXPERIMENTS.md). Benches default
+/// to a reduced sweep that finishes in seconds-to-minutes on one machine;
+/// set SPTRSV_BENCH_FULL=1 for the paper's full parameter grid.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sptrsv3d.hpp"
+#include "factor/sptrsv_seq.hpp"
+#include "gpusim/gpu_sptrsv.hpp"
+#include "sparse/paper_matrices.hpp"
+
+namespace sptrsv::bench {
+
+inline bool full_sweep() {
+  const char* v = std::getenv("SPTRSV_BENCH_FULL");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// Matrix scale used by benches (paper matrices are far larger; the scaled
+/// instances keep the regime, see DESIGN.md §3). SPTRSV_BENCH_SMALL=1
+/// switches to the small instances for quick smoke runs.
+inline MatrixScale bench_scale() {
+  const char* v = std::getenv("SPTRSV_BENCH_SMALL");
+  const bool small = v != nullptr && v[0] != '\0' && v[0] != '0';
+  return small ? MatrixScale::kSmall : MatrixScale::kMedium;
+}
+
+/// Factorizes a paper matrix once and caches it across sweep points.
+class SystemCache {
+ public:
+  const FactoredSystem& get(PaperMatrix which, int nd_levels, MatrixScale scale) {
+    const std::string key =
+        paper_matrix_name(which) + "/" + std::to_string(nd_levels) + "/" +
+        std::to_string(static_cast<int>(scale));
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      const CsrMatrix a = make_paper_matrix(which, scale);
+      it = cache_
+               .emplace(key, std::make_unique<FactoredSystem>(
+                                 analyze_and_factor(a, nd_levels)))
+               .first;
+    }
+    return *it->second;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<FactoredSystem>> cache_;
+};
+
+/// Deterministic RHS for benches.
+inline std::vector<Real> bench_rhs(Idx n, Idx nrhs) {
+  std::vector<Real> b(static_cast<size_t>(n) * nrhs);
+  for (size_t i = 0; i < b.size(); ++i) {
+    b[i] = 1.0 + 0.001 * static_cast<Real>(i % 977);
+  }
+  return b;
+}
+
+/// Runs the threaded CPU 3D solve and returns the outcome.
+inline DistSolveOutcome run_cpu(const FactoredSystem& fs, const Grid3dShape& shape,
+                                Algorithm3d alg, const MachineModel& machine,
+                                Idx nrhs = 1, TreeKind tree = TreeKind::kBinary,
+                                bool sparse_zreduce = true) {
+  SolveConfig cfg;
+  cfg.shape = shape;
+  cfg.algorithm = alg;
+  cfg.tree = tree;
+  cfg.nrhs = nrhs;
+  cfg.sparse_zreduce = sparse_zreduce;
+  const auto b = bench_rhs(fs.lu.n(), nrhs);
+  return solve_system_3d(fs, b, cfg, machine);
+}
+
+/// Picks (px, py) as square as possible with px*py = p2d (paper Fig 4:
+/// "the 2D grid (Px, Py) is set as square as possible").
+inline std::pair<int, int> square_grid(int p2d) {
+  int px = 1;
+  for (int d = 1; d * d <= p2d; ++d) {
+    if (p2d % d == 0) px = d;
+  }
+  return {px, p2d / px};
+}
+
+/// Simple aligned table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+  void print() const {
+    std::vector<size_t> w(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& r) {
+      for (size_t i = 0; i < r.size() && i < w.size(); ++i) {
+        w[i] = std::max(w[i], r[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+    auto print_row = [&](const std::vector<std::string>& r) {
+      for (size_t i = 0; i < r.size(); ++i) {
+        std::printf("%s%-*s", i ? "  " : "", static_cast<int>(w[i]), r[i].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt_time(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3e", seconds);
+  return buf;
+}
+
+inline std::string fmt_ratio(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", r);
+  return buf;
+}
+
+}  // namespace sptrsv::bench

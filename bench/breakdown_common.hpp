@@ -1,0 +1,50 @@
+#pragma once
+/// \file breakdown_common.hpp
+/// \brief Shared driver for the Fig 5 / Fig 6 time-breakdown benches.
+
+#include "bench/bench_util.hpp"
+
+namespace sptrsv::bench {
+
+/// Prints rank-averaged Z-Comm / XY-Comm / FP-Operation bars for the
+/// baseline (flat comm, per the artifact) and proposed (tree comm)
+/// algorithms over the paper's (P, Pz) grid.
+inline void run_breakdown_figure(const char* figure, PaperMatrix which) {
+  const std::vector<int> p_sweep =
+      full_sweep() ? std::vector<int>{128, 512, 2048} : std::vector<int>{128, 2048};
+  const std::vector<int> pz_sweep = full_sweep() ? std::vector<int>{1, 2, 4, 8, 16, 32}
+                                                 : std::vector<int>{1, 4, 16, 32};
+  const MachineModel machine = MachineModel::cori_haswell();
+  SystemCache cache;
+  const FactoredSystem& fs = cache.get(which, /*nd_levels=*/5, bench_scale());
+
+  std::printf("# %s — time breakdown (s, averaged over ranks) of %s on %s\n", figure,
+              paper_matrix_name(which).c_str(), machine.name.c_str());
+  std::printf("# Z-Comm = inter-grid, XY-Comm = intra-grid, FP = block kernels\n");
+  for (const int p : p_sweep) {
+    std::printf("\n## P = %d\n", p);
+    Table t({"alg", "Pz", "Z-Comm", "XY-Comm", "FP-Operation", "total(max)"});
+    for (const auto alg : {Algorithm3d::kBaseline, Algorithm3d::kProposed}) {
+      const TreeKind tree =
+          alg == Algorithm3d::kBaseline ? TreeKind::kFlat : TreeKind::kBinary;
+      for (const int pz : pz_sweep) {
+        if (p % pz != 0) continue;
+        const auto [px, py] = square_grid(p / pz);
+        const auto out = run_cpu(fs, {px, py, pz}, alg, machine, 1, tree);
+        const double z = out.mean(&RankPhaseTimes::l_z) +
+                         out.mean(&RankPhaseTimes::z_time) +
+                         out.mean(&RankPhaseTimes::u_z);
+        const double xy =
+            out.mean(&RankPhaseTimes::l_xy) + out.mean(&RankPhaseTimes::u_xy);
+        const double fp =
+            out.mean(&RankPhaseTimes::l_fp) + out.mean(&RankPhaseTimes::u_fp);
+        t.add_row({alg == Algorithm3d::kBaseline ? "baseline" : "proposed",
+                   std::to_string(pz), fmt_time(z), fmt_time(xy), fmt_time(fp),
+                   fmt_time(out.makespan)});
+      }
+    }
+    t.print();
+  }
+}
+
+}  // namespace sptrsv::bench

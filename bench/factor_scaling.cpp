@@ -1,0 +1,57 @@
+/// \file factor_scaling.cpp
+/// \brief Extra experiment: modeled strong scaling of the distributed
+/// numeric factorization (the SuperLU_DIST substrate the paper's solves
+/// run inside; its artifact notes most wall time goes to factorization).
+/// Right-looking fan-out on Px x Py grids of Cori Haswell cores.
+
+#include "bench/bench_util.hpp"
+#include "dist/factor_dist.hpp"
+#include "ordering/etree.hpp"
+#include "symbolic/colcounts.hpp"
+
+using namespace sptrsv;
+using namespace sptrsv::bench;
+
+int main() {
+  const MachineModel machine = MachineModel::cori_haswell();
+  // The solve benches use medium matrices; the factorization does O(n^1.5+)
+  // work, so scale down one notch unless the full sweep is requested.
+  const MatrixScale scale = full_sweep() ? bench_scale() : MatrixScale::kSmall;
+  std::printf("# Distributed supernodal LU factorization, %s\n", machine.name.c_str());
+  for (const PaperMatrix which :
+       {PaperMatrix::kS2D9pt2048, PaperMatrix::kNlpkkt80}) {
+    const CsrMatrix a = make_paper_matrix(which, scale);
+    NdOptions nd_opt;
+    nd_opt.levels = 4;
+    const NdOrdering nd = nested_dissection(a, nd_opt);
+    const CsrMatrix pa = a.permuted_symmetric(nd.perm);
+    const auto parent = elimination_tree(pa);
+    const auto counts = cholesky_col_counts(pa, parent);
+    SupernodeOptions sn_opt;
+    for (Idx id = 0; id < nd.tree.num_nodes(); ++id) {
+      sn_opt.forced_breaks.push_back(nd.tree.node(id).col_begin);
+      sn_opt.forced_breaks.push_back(nd.tree.node(id).col_end);
+    }
+    const SupernodePartition part = find_supernodes(parent, counts, sn_opt);
+
+    std::printf("\n## %s (n=%d)\n", paper_matrix_name(which).c_str(), a.rows());
+    Table t({"grid", "ranks", "modeled time", "speedup", "mean FP", "mean comm",
+             "messages"});
+    double t1 = 0;
+    for (const auto& [px, py] : {std::pair{1, 1}, std::pair{2, 2}, std::pair{4, 4},
+                                 std::pair{8, 8}, std::pair{16, 16}}) {
+      DistFactorStats stats;
+      factor_supernodal_distributed(pa, block_symbolic(pa, part), {px, py}, machine,
+                                    &stats);
+      if (px == 1) t1 = stats.makespan;
+      char sp[32];
+      std::snprintf(sp, sizeof(sp), "%.2fx", t1 / stats.makespan);
+      t.add_row({std::to_string(px) + "x" + std::to_string(py),
+                 std::to_string(px * py), fmt_time(stats.makespan), sp,
+                 fmt_time(stats.mean_fp), fmt_time(stats.mean_comm),
+                 std::to_string(stats.total_messages)});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+/// \file fig10_perlmutter.cpp
+/// \brief Reproduces Fig 10: proposed 3D SpTRSV on Perlmutter (A100), CPU
+/// vs GPU solves on 1x1xPz layouts, nrhs in {1, 50}. Matrices:
+/// s1_mat_0_253872, s2D9pt2048, nlpkkt80, dielFilterV3real.
+
+#include "bench/gpu_common.hpp"
+
+int main() {
+  sptrsv::bench::run_gpu_1x1xpz_figure(
+      "Fig 10", sptrsv::MachineModel::perlmutter(),
+      {sptrsv::PaperMatrix::kS1Mat0253872, sptrsv::PaperMatrix::kS2D9pt2048,
+       sptrsv::PaperMatrix::kNlpkkt80, sptrsv::PaperMatrix::kDielFilterV3real},
+      "4.6x-6.5x @1RHS, 3.7x-5.2x @50RHS");
+  return 0;
+}

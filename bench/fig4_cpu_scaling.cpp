@@ -1,0 +1,93 @@
+/// \file fig4_cpu_scaling.cpp
+/// \brief Reproduces Fig 4: CPU SpTRSV time on Cori Haswell as the total
+/// MPI count P = Px*Py*Pz varies, for the baseline and proposed 3D
+/// algorithms with Pz from 1 to 32.
+///
+/// Matrices: s2D9pt2048, nlpkkt80, ldoor, dielFilterV3real. One curve per
+/// (algorithm, Pz); x-axis is P; the 2D grid is chosen as square as
+/// possible. "New pz1" is the communication-optimized 2D algorithm [29].
+/// Also prints the §4.1 headline speedups (proposed vs baseline, proposed
+/// vs 2D).
+
+#include <algorithm>
+
+#include "bench/bench_util.hpp"
+
+using namespace sptrsv;
+using namespace sptrsv::bench;
+
+int main() {
+  const std::vector<PaperMatrix> matrices{
+      PaperMatrix::kS2D9pt2048, PaperMatrix::kNlpkkt80, PaperMatrix::kLdoor,
+      PaperMatrix::kDielFilterV3real};
+  const std::vector<int> p_sweep = full_sweep()
+                                       ? std::vector<int>{128, 256, 512, 1024, 2048}
+                                       : std::vector<int>{128, 512, 2048};
+  const std::vector<int> pz_sweep = full_sweep() ? std::vector<int>{1, 2, 4, 8, 16, 32}
+                                                 : std::vector<int>{1, 4, 16, 32};
+  const MachineModel machine = MachineModel::cori_haswell();
+  SystemCache cache;
+
+  std::printf("# Fig 4 — SpTRSV modeled time (s) on %s; P = Px*Py*Pz\n",
+              machine.name.c_str());
+  for (const PaperMatrix which : matrices) {
+    const FactoredSystem& fs = cache.get(which, /*nd_levels=*/5, bench_scale());
+    std::printf("\n## %s (n=%d)\n", paper_matrix_name(which).c_str(), fs.lu.n());
+
+    std::vector<std::string> header{"P"};
+    for (const auto alg : {Algorithm3d::kBaseline, Algorithm3d::kProposed}) {
+      for (const int pz : pz_sweep) {
+        header.push_back(std::string(alg == Algorithm3d::kBaseline ? "base" : "new") +
+                         "_pz" + std::to_string(pz));
+      }
+    }
+    Table t(header);
+
+    double best_vs_base = 0, best_vs_2d = 0;
+    for (const int p : p_sweep) {
+      std::vector<std::string> row{std::to_string(p)};
+      std::map<std::pair<int, int>, double> time;  // (alg, pz) -> makespan
+      for (const auto alg : {Algorithm3d::kBaseline, Algorithm3d::kProposed}) {
+        // The artifact's baseline runs without tree communication
+        // (NEW3DSOLVETREECOMM unset), i.e. flat fan-out.
+        const TreeKind tree =
+            alg == Algorithm3d::kBaseline ? TreeKind::kFlat : TreeKind::kBinary;
+        for (const int pz : pz_sweep) {
+          if (p % pz != 0) {
+            row.push_back("-");
+            continue;
+          }
+          const auto [px, py] = square_grid(p / pz);
+          const auto out = run_cpu(fs, {px, py, pz}, alg, machine, 1, tree);
+          time[{static_cast<int>(alg), pz}] = out.makespan;
+          row.push_back(fmt_time(out.makespan));
+        }
+      }
+      t.add_row(std::move(row));
+      // Headline "up to" ratios: max over matched (P, Pz) configurations,
+      // plus proposed's best against the 2D algorithm (proposed at Pz=1).
+      double best_new = 1e300;
+      for (const int pz : pz_sweep) {
+        const auto itb = time.find({static_cast<int>(Algorithm3d::kBaseline), pz});
+        const auto itn = time.find({static_cast<int>(Algorithm3d::kProposed), pz});
+        if (itn == time.end()) continue;
+        best_new = std::min(best_new, itn->second);
+        if (itb != time.end()) {
+          best_vs_base = std::max(best_vs_base, itb->second / itn->second);
+        }
+      }
+      const auto it2d = time.find({static_cast<int>(Algorithm3d::kProposed), 1});
+      if (it2d != time.end() && best_new < 1e300) {
+        best_vs_2d = std::max(best_vs_2d, it2d->second / best_new);
+      }
+    }
+    t.print();
+    std::printf("-> max speedup proposed-3D vs baseline-3D: %s (paper: 3.45x/1.87x/"
+                "1.13x/1.98x)\n",
+                fmt_ratio(best_vs_base).c_str());
+    std::printf("-> max speedup proposed-3D vs 2D (pz=1):   %s (paper: 2.2x/1.1x/"
+                "2.1x/1.43x)\n",
+                fmt_ratio(best_vs_2d).c_str());
+  }
+  return 0;
+}

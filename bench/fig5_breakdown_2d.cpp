@@ -1,0 +1,12 @@
+/// \file fig5_breakdown_2d.cpp
+/// \brief Reproduces Fig 5: time breakdown (Z-Comm / XY-Comm / FP-Operation,
+/// averaged over ranks) of s2D9pt2048 on Cori Haswell, baseline vs proposed
+/// 3D SpTRSV, as P and Pz vary.
+
+#include "bench/bench_util.hpp"
+#include "bench/breakdown_common.hpp"
+
+int main() {
+  sptrsv::bench::run_breakdown_figure("Fig 5", sptrsv::PaperMatrix::kS2D9pt2048);
+  return 0;
+}

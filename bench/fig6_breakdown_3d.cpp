@@ -1,0 +1,13 @@
+/// \file fig6_breakdown_3d.cpp
+/// \brief Reproduces Fig 6: the same breakdown as Fig 5 for nlpkkt80. A 3D
+/// PDE matrix replicates asymptotically more ancestor computation as Pz
+/// grows, so the proposed algorithm's FP bar rises with Pz — the effect the
+/// paper highlights in §4.1.
+
+#include "bench/bench_util.hpp"
+#include "bench/breakdown_common.hpp"
+
+int main() {
+  sptrsv::bench::run_breakdown_figure("Fig 6", sptrsv::PaperMatrix::kNlpkkt80);
+  return 0;
+}

@@ -1,0 +1,10 @@
+/// \file fig7_loadbalance_2d.cpp
+/// \brief Reproduces Fig 7: load balance of the s2D9pt2048 solve — both
+/// algorithms stay reasonably balanced on a 2D-PDE matrix.
+
+#include "bench/loadbalance_common.hpp"
+
+int main() {
+  sptrsv::bench::run_loadbalance_figure("Fig 7", sptrsv::PaperMatrix::kS2D9pt2048);
+  return 0;
+}

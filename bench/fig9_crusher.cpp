@@ -1,0 +1,16 @@
+/// \file fig9_crusher.cpp
+/// \brief Reproduces Fig 9: proposed 3D SpTRSV on Crusher (MI250X), CPU vs
+/// GPU solves on 1x1xPz layouts (ROC-SHMEM has no subcommunicators, so
+/// Px = Py = 1 is mandatory on this machine), nrhs in {1, 50}.
+/// Matrices: s1_mat_0_253872, s2D9pt2048, ldoor.
+
+#include "bench/gpu_common.hpp"
+
+int main() {
+  sptrsv::bench::run_gpu_1x1xpz_figure(
+      "Fig 9", sptrsv::MachineModel::crusher(),
+      {sptrsv::PaperMatrix::kS1Mat0253872, sptrsv::PaperMatrix::kS2D9pt2048,
+       sptrsv::PaperMatrix::kLdoor},
+      "1.6x-1.8x @1RHS, 2.2x-2.9x @50RHS");
+  return 0;
+}

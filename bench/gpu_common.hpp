@@ -1,0 +1,52 @@
+#pragma once
+/// \file gpu_common.hpp
+/// \brief Shared driver for the Fig 9 / Fig 10 GPU-vs-CPU benches.
+
+#include "bench/bench_util.hpp"
+
+namespace sptrsv::bench {
+
+/// Prints total / L-solve / U-solve / Z-comm modeled times for the proposed
+/// 3D SpTRSV with CPU and GPU solves on 1 x 1 x Pz layouts, for 1 and 50
+/// RHSs — the Fig 9 (Crusher) / Fig 10 (Perlmutter) series. Also reports
+/// the per-configuration CPU/GPU speedup and its maximum.
+inline void run_gpu_1x1xpz_figure(const char* figure, const MachineModel& machine,
+                                  const std::vector<PaperMatrix>& matrices,
+                                  const char* paper_speedups) {
+  const std::vector<int> pz_sweep = full_sweep()
+                                        ? std::vector<int>{1, 2, 4, 8, 16, 32, 64}
+                                        : std::vector<int>{1, 4, 16, 64};
+  SystemCache cache;
+  std::printf("# %s — proposed 3D SpTRSV on %s, 1x1xPz layouts, CPU vs GPU solves\n",
+              figure, machine.name.c_str());
+  for (const PaperMatrix which : matrices) {
+    const FactoredSystem& fs = cache.get(which, /*nd_levels=*/6, bench_scale());
+    for (const Idx nrhs : {Idx{1}, Idx{50}}) {
+      std::printf("\n## %s, nrhs = %d\n", paper_matrix_name(which).c_str(),
+                  static_cast<int>(nrhs));
+      Table t({"Pz", "cpu total", "cpu L", "cpu U", "cpu Z", "gpu total", "gpu L",
+               "gpu U", "gpu Z", "speedup"});
+      double best = 0;
+      for (const int pz : pz_sweep) {
+        GpuSolveConfig cfg;
+        cfg.shape = {1, 1, pz};
+        cfg.nrhs = nrhs;
+        cfg.backend = GpuBackend::kCpu;
+        const auto cpu = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, machine);
+        cfg.backend = GpuBackend::kGpu;
+        const auto gpu = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, machine);
+        const double speedup = cpu.total / gpu.total;
+        best = std::max(best, speedup);
+        t.add_row({std::to_string(pz), fmt_time(cpu.total), fmt_time(cpu.l_solve),
+                   fmt_time(cpu.u_solve), fmt_time(cpu.z_comm), fmt_time(gpu.total),
+                   fmt_time(gpu.l_solve), fmt_time(gpu.u_solve), fmt_time(gpu.z_comm),
+                   fmt_ratio(speedup)});
+      }
+      t.print();
+      std::printf("-> max CPU->GPU speedup: %s (paper, across matrices: %s)\n",
+                  fmt_ratio(best).c_str(), paper_speedups);
+    }
+  }
+}
+
+}  // namespace sptrsv::bench

@@ -1,0 +1,39 @@
+/// \file layout_study.cpp
+/// \brief Extra experiment: process-layout study at fixed rank counts —
+/// 1D row layouts (the non-blocked 1D family of the paper's related work
+/// [41]), square 2D layouts [22, 29], and 3D layouts with increasing Pz.
+/// Shows why the field moved 1D -> 2D -> 3D: each dimension added trades
+/// per-rank message fan-out for replication.
+
+#include "bench/bench_util.hpp"
+
+using namespace sptrsv;
+using namespace sptrsv::bench;
+
+int main() {
+  const MachineModel machine = MachineModel::cori_haswell();
+  SystemCache cache;
+  const FactoredSystem& fs =
+      cache.get(PaperMatrix::kS2D9pt2048, /*nd_levels=*/5, bench_scale());
+
+  std::printf("# Layout study — s2D9pt2048 on %s, proposed algorithm, 1 RHS\n",
+              machine.name.c_str());
+  Table t({"P", "1D (Px x 1 x 1)", "2D (sq x sq x 1)", "3D (sq x sq x 16)",
+           "best"});
+  for (const int p : full_sweep() ? std::vector<int>{64, 256, 1024, 2048}
+                                  : std::vector<int>{64, 1024}) {
+    const auto d1 = run_cpu(fs, {p, 1, 1}, Algorithm3d::kProposed, machine);
+    const auto [px2, py2] = square_grid(p);
+    const auto d2 = run_cpu(fs, {px2, py2, 1}, Algorithm3d::kProposed, machine);
+    const auto [px3, py3] = square_grid(p / 16);
+    const auto d3 = run_cpu(fs, {px3, py3, 16}, Algorithm3d::kProposed, machine);
+    const double best = std::min({d1.makespan, d2.makespan, d3.makespan});
+    t.add_row({std::to_string(p), fmt_time(d1.makespan), fmt_time(d2.makespan),
+               fmt_time(d3.makespan),
+               best == d3.makespan ? "3D" : (best == d2.makespan ? "2D" : "1D")});
+  }
+  t.print();
+  std::printf("\n2D halves the per-rank fan-out of 1D; the third dimension\n"
+              "converts the remaining latency chains into replicated compute.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+#pragma once
+/// \file loadbalance_common.hpp
+/// \brief Shared driver for the Fig 7 / Fig 8 load-balance benches.
+
+#include "bench/bench_util.hpp"
+
+namespace sptrsv::bench {
+
+/// Prints min/mean/max over ranks of the L- and U-solve times (Z-Comm
+/// excluded, matching the paper's Fig 7-8 convention) for P in {128, 1024}.
+inline void run_loadbalance_figure(const char* figure, PaperMatrix which) {
+  const std::vector<int> pz_sweep = full_sweep() ? std::vector<int>{1, 2, 4, 8, 16, 32}
+                                                 : std::vector<int>{1, 4, 16, 32};
+  const MachineModel machine = MachineModel::cori_haswell();
+  SystemCache cache;
+  const FactoredSystem& fs = cache.get(which, /*nd_levels=*/5, bench_scale());
+
+  std::printf("# %s — load balance of %s on %s: L/U solve time across ranks\n",
+              figure, paper_matrix_name(which).c_str(), machine.name.c_str());
+  std::printf("# (min / mean / max over MPI ranks; Z-Comm time excluded)\n");
+  for (const int p : {128, 1024}) {
+    std::printf("\n## P = %d\n", p);
+    Table t({"alg", "Pz", "L min", "L mean", "L max", "U min", "U mean", "U max"});
+    for (const auto alg : {Algorithm3d::kBaseline, Algorithm3d::kProposed}) {
+      const TreeKind tree =
+          alg == Algorithm3d::kBaseline ? TreeKind::kFlat : TreeKind::kBinary;
+      for (const int pz : pz_sweep) {
+        if (p % pz != 0) continue;
+        const auto [px, py] = square_grid(p / pz);
+        const auto out = run_cpu(fs, {px, py, pz}, alg, machine, 1, tree);
+        auto l_of = [](const RankPhaseTimes& r) { return r.l_solve(); };
+        auto u_of = [](const RankPhaseTimes& r) { return r.u_solve(); };
+        double lmin = 1e300, lmax = 0, lsum = 0, umin = 1e300, umax = 0, usum = 0;
+        for (const auto& r : out.rank_times) {
+          lmin = std::min(lmin, l_of(r));
+          lmax = std::max(lmax, l_of(r));
+          lsum += l_of(r);
+          umin = std::min(umin, u_of(r));
+          umax = std::max(umax, u_of(r));
+          usum += u_of(r);
+        }
+        const double n = static_cast<double>(out.rank_times.size());
+        t.add_row({alg == Algorithm3d::kBaseline ? "baseline" : "proposed",
+                   std::to_string(pz), fmt_time(lmin), fmt_time(lsum / n),
+                   fmt_time(lmax), fmt_time(umin), fmt_time(usum / n),
+                   fmt_time(umax)});
+      }
+    }
+    t.print();
+  }
+}
+
+}  // namespace sptrsv::bench

@@ -1,0 +1,132 @@
+/// \file micro_kernels.cpp
+/// \brief google-benchmark microbenchmarks of the kernels the solve spends
+/// its time in: dense block GEMM/TRSM/LU, tree construction, and a SpMV
+/// bandwidth probe.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <random>
+
+#include "comm/trees.hpp"
+#include "factor/dense.hpp"
+#include "sparse/generators.hpp"
+
+namespace sptrsv {
+namespace {
+
+std::vector<Real> random_matrix(Idx m, Idx n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<Real> uni(-1.0, 1.0);
+  std::vector<Real> a(static_cast<size_t>(m) * n);
+  for (auto& v : a) v = uni(rng);
+  return a;
+}
+
+void BM_GemmPanelUpdate(benchmark::State& state) {
+  // lsum(I) += L(I,K) * y(K): the L-solve's inner kernel. Arg0 = supernode
+  // width, Arg1 = nrhs.
+  const Idx w = static_cast<Idx>(state.range(0));
+  const Idx nrhs = static_cast<Idx>(state.range(1));
+  const Idx rows = 4 * w;  // typical panel height
+  const auto panel = random_matrix(rows, w, 1);
+  const auto y = random_matrix(w, nrhs, 2);
+  std::vector<Real> lsum(static_cast<size_t>(rows) * nrhs, 0.0);
+  for (auto _ : state) {
+    gemm_plus_ld(rows, w, nrhs, panel, rows, y, w, lsum, rows);
+    benchmark::DoNotOptimize(lsum.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * rows * w * nrhs);
+}
+BENCHMARK(BM_GemmPanelUpdate)
+    ->Args({8, 1})
+    ->Args({32, 1})
+    ->Args({96, 1})
+    ->Args({32, 50})
+    ->Args({96, 50});
+
+void BM_DiagApply(benchmark::State& state) {
+  // y(K) = inv(L_KK) * rhs: the diagonal kernel.
+  const Idx w = static_cast<Idx>(state.range(0));
+  const auto inv = random_matrix(w, w, 3);
+  const auto rhs = random_matrix(w, 1, 4);
+  std::vector<Real> y(static_cast<size_t>(w), 0.0);
+  for (auto _ : state) {
+    std::fill(y.begin(), y.end(), 0.0);
+    gemm_plus(w, w, 1, inv, rhs, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * w * w);
+}
+BENCHMARK(BM_DiagApply)->Arg(8)->Arg(32)->Arg(96);
+
+void BM_DenseLuFactor(benchmark::State& state) {
+  const Idx w = static_cast<Idx>(state.range(0));
+  auto base = random_matrix(w, w, 5);
+  for (Idx i = 0; i < w; ++i) base[static_cast<size_t>(i) * w + i] += w;
+  for (auto _ : state) {
+    auto a = base;
+    benchmark::DoNotOptimize(lu_unpivoted_inplace(w, a));
+  }
+}
+BENCHMARK(BM_DenseLuFactor)->Arg(8)->Arg(32)->Arg(96);
+
+void BM_InvertTriangular(benchmark::State& state) {
+  const Idx w = static_cast<Idx>(state.range(0));
+  auto lu = random_matrix(w, w, 6);
+  for (Idx i = 0; i < w; ++i) lu[static_cast<size_t>(i) * w + i] += w;
+  lu_unpivoted_inplace(w, lu);
+  std::vector<Real> out(static_cast<size_t>(w) * w);
+  for (auto _ : state) {
+    invert_unit_lower(w, lu, out);
+    invert_upper(w, lu, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_InvertTriangular)->Arg(8)->Arg(32)->Arg(96);
+
+void BM_TrsmRightUpper(benchmark::State& state) {
+  const Idx w = static_cast<Idx>(state.range(0));
+  const Idx rows = 4 * w;
+  auto lu = random_matrix(w, w, 7);
+  for (Idx i = 0; i < w; ++i) lu[static_cast<size_t>(i) * w + i] += w;
+  lu_unpivoted_inplace(w, lu);
+  const auto base = random_matrix(rows, w, 8);
+  for (auto _ : state) {
+    auto b = base;
+    trsm_right_upper(rows, w, lu, b);
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_TrsmRightUpper)->Arg(8)->Arg(32)->Arg(96);
+
+void BM_BinaryTreeBuild(benchmark::State& state) {
+  // Tree construction happens once per supernode during setup.
+  const int n = static_cast<int>(state.range(0));
+  std::vector<int> members(static_cast<size_t>(n));
+  std::iota(members.begin(), members.end(), 0);
+  for (auto _ : state) {
+    auto t = CommTree::build(TreeKind::kBinary, members, 0);
+    benchmark::DoNotOptimize(&t);
+  }
+}
+BENCHMARK(BM_BinaryTreeBuild)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_SpmvReference(benchmark::State& state) {
+  // Residual-check kernel; also a rough memory-bandwidth probe.
+  const Idx side = static_cast<Idx>(state.range(0));
+  const CsrMatrix a = make_grid2d(side, side, Stencil2d::kNinePoint);
+  std::vector<Real> x(static_cast<size_t>(a.rows()), 1.0);
+  std::vector<Real> y(static_cast<size_t>(a.rows()));
+  for (auto _ : state) {
+    a.matvec(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * 2);
+}
+BENCHMARK(BM_SpmvReference)->Arg(64)->Arg(192);
+
+}  // namespace
+}  // namespace sptrsv
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+/// \file fusion_timestepper.cpp
+/// \brief Domain scenario: an implicit time-stepper for an anisotropic 2D
+/// transport problem (the role the fusion matrix s1_mat_0_253872 plays in
+/// the paper). The operator is factored once and the triangular solves are
+/// applied every step — exactly the many-repeated-SpTRSV workload that
+/// motivates the paper — so the solve layout, not the factorization,
+/// determines throughput. The example compares layouts and reports
+/// steps/second under the model.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/sptrsv3d.hpp"
+#include "factor/sptrsv_seq.hpp"
+#include "sparse/paper_matrices.hpp"
+
+using namespace sptrsv;
+
+int main() {
+  // Field-aligned anisotropic operator (fusion-like).
+  const CsrMatrix a = make_paper_matrix(PaperMatrix::kS1Mat0253872, MatrixScale::kSmall);
+  std::printf("Anisotropic transport system: n = %d, nnz = %lld\n", a.rows(),
+              static_cast<long long>(a.nnz()));
+  const FactoredSystem fs = analyze_and_factor(a, /*nd_levels=*/4);
+
+  // Initial condition: a hot spot in the middle.
+  std::vector<Real> u(static_cast<size_t>(a.rows()), 0.0);
+  u[static_cast<size_t>(a.rows() / 2)] = 1.0;
+
+  const MachineModel machine = MachineModel::cori_haswell();
+  const int steps = 5;
+  std::printf("%-10s  %-12s  %-12s  %-10s\n", "layout", "per-step (s)", "steps/s",
+              "residual");
+  for (const Grid3dShape shape : {Grid3dShape{2, 2, 1}, Grid3dShape{2, 2, 4},
+                                  Grid3dShape{2, 2, 16}}) {
+    SolveConfig cfg;
+    cfg.shape = shape;
+    cfg.algorithm = Algorithm3d::kProposed;
+    std::vector<Real> state = u;
+    double per_step = 0;
+    Real resid = 0;
+    for (int s = 0; s < steps; ++s) {
+      // Backward-Euler step: A u_{t+1} = u_t (diffusion absorbed in A).
+      const DistSolveOutcome out = solve_system_3d(fs, state, cfg, machine);
+      per_step += out.makespan / steps;
+      resid = relative_residual(a, out.x, state);
+      state = out.x;
+    }
+    std::printf("%dx%dx%-4d  %-12.3e  %-12.1f  %-10.2e\n", shape.px, shape.py,
+                shape.pz, per_step, 1.0 / per_step, resid);
+  }
+  std::printf("\nThe factorization is reused across all steps; only the solve\n"
+              "layout changes throughput — the paper's core motivation.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+/// \file gpu_scaling.cpp
+/// \brief Domain scenario: how far will my solve scale on a GPU cluster?
+/// Sweeps Px x 1 x Pz layouts up to 256 modeled Perlmutter GPUs for a
+/// wave-propagation (Maxwell FEM) system and reports where the 2D layout
+/// hits the inter-node bandwidth wall while the 3D layout keeps scaling —
+/// the headline result of the paper (Fig 11).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "gpusim/gpu_sptrsv.hpp"
+#include "sparse/paper_matrices.hpp"
+
+using namespace sptrsv;
+
+int main() {
+  const CsrMatrix a =
+      make_paper_matrix(PaperMatrix::kDielFilterV3real, MatrixScale::kSmall);
+  std::printf("Wave-propagation system: n = %d\n", a.rows());
+  const FactoredSystem fs = analyze_and_factor(a, /*nd_levels=*/6);
+  const MachineModel machine = MachineModel::perlmutter();
+
+  std::printf("\n2D layout (Px x 1 x 1, the NVSHMEM 2D algorithm):\n");
+  std::printf("%-8s %-12s %-8s\n", "GPUs", "time (s)", "speedup");
+  double t1 = 0;
+  for (const int px : {1, 2, 4, 8, 16}) {
+    GpuSolveConfig cfg;
+    cfg.shape = {px, 1, 1};
+    const auto t = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, machine);
+    if (px == 1) t1 = t.total;
+    std::printf("%-8d %-12.3e %.2fx%s\n", px, t.total, t1 / t.total,
+                px > machine.gpus_per_node ? "   <- crossed the node boundary" : "");
+  }
+
+  std::printf("\n3D layouts (Px x 1 x Pz):\n");
+  std::printf("%-8s %-8s %-8s %-12s %-8s\n", "Px", "Pz", "GPUs", "time (s)",
+              "speedup");
+  double best = 1e300;
+  int best_gpus = 0;
+  for (const int pz : {4, 16, 64}) {
+    for (const int px : {1, 2, 4}) {
+      GpuSolveConfig cfg;
+      cfg.shape = {px, 1, pz};
+      const auto t = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, machine);
+      std::printf("%-8d %-8d %-8d %-12.3e %.2fx\n", px, pz, px * pz, t.total,
+                  t1 / t.total);
+      if (t.total < best) {
+        best = t.total;
+        best_gpus = px * pz;
+      }
+    }
+  }
+  std::printf("\nBest 3D configuration: %d GPUs, %.2fx over 1 GPU — the 2D\n"
+              "layout cannot use more than one node productively.\n",
+              best_gpus, t1 / best);
+  return 0;
+}

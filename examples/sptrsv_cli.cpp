@@ -1,0 +1,176 @@
+/// \file sptrsv_cli.cpp
+/// \brief Full command-line driver: pick a matrix, layout, algorithm and
+/// machine; solve; report residual, timings and message statistics.
+///
+///   sptrsv_cli [--matrix NAME|file.mtx] [--scale tiny|small|medium]
+///              [--shape PXxPYxPZ] [--alg new|baseline] [--tree binary|flat]
+///              [--machine cori|perlmutter|crusher] [--nrhs N]
+///              [--backend cpu|gpu] [--refine] [--csv]
+///
+/// Examples:
+///   sptrsv_cli --matrix s2D9pt2048 --shape 4x4x8 --alg new
+///   sptrsv_cli --matrix my.mtx --shape 1x1x4 --machine perlmutter --backend gpu
+///   sptrsv_cli --matrix nlpkkt80 --scale medium --shape 2x2x16 --refine
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/refinement.hpp"
+#include "core/sptrsv3d.hpp"
+#include "factor/sptrsv_seq.hpp"
+#include "gpusim/gpu_sptrsv.hpp"
+#include "sparse/mmio.hpp"
+#include "sparse/paper_matrices.hpp"
+
+using namespace sptrsv;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--matrix NAME|file.mtx] [--scale tiny|small|medium]\n"
+               "          [--shape PXxPYxPZ] [--alg new|baseline] [--tree "
+               "binary|flat]\n"
+               "          [--machine cori|perlmutter|crusher] [--nrhs N]\n"
+               "          [--backend cpu|gpu] [--refine] [--csv]\n",
+               argv0);
+  std::exit(2);
+}
+
+CsrMatrix load_matrix(const std::string& name, MatrixScale scale) {
+  if (name.size() > 4 && name.substr(name.size() - 4) == ".mtx") {
+    CsrMatrix a = read_matrix_market_file(name);
+    return a.has_symmetric_pattern() ? a : a.symmetrized_pattern();
+  }
+  for (const PaperMatrix m : all_paper_matrices()) {
+    if (paper_matrix_name(m) == name) return make_paper_matrix(m, scale);
+  }
+  std::fprintf(stderr, "unknown matrix '%s' (not a .mtx path or a paper name)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string matrix = "s2D9pt2048";
+  MatrixScale scale = MatrixScale::kSmall;
+  Grid3dShape shape{2, 2, 4};
+  Algorithm3d alg = Algorithm3d::kProposed;
+  TreeKind tree = TreeKind::kBinary;
+  std::string machine_name = "cori";
+  Idx nrhs = 1;
+  bool gpu = false, refine = false, csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--matrix") {
+      matrix = next();
+    } else if (a == "--scale") {
+      const std::string s = next();
+      scale = s == "tiny" ? MatrixScale::kTiny
+              : s == "medium" ? MatrixScale::kMedium
+                              : MatrixScale::kSmall;
+    } else if (a == "--shape") {
+      const std::string s = next();
+      if (std::sscanf(s.c_str(), "%dx%dx%d", &shape.px, &shape.py, &shape.pz) != 3) {
+        usage(argv[0]);
+      }
+    } else if (a == "--alg") {
+      alg = next() == "baseline" ? Algorithm3d::kBaseline : Algorithm3d::kProposed;
+    } else if (a == "--tree") {
+      tree = next() == "flat" ? TreeKind::kFlat : TreeKind::kBinary;
+    } else if (a == "--machine") {
+      machine_name = next();
+    } else if (a == "--nrhs") {
+      nrhs = static_cast<Idx>(std::atoi(next().c_str()));
+    } else if (a == "--backend") {
+      gpu = (next() == "gpu");
+    } else if (a == "--refine") {
+      refine = true;
+    } else if (a == "--csv") {
+      csv = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  const MachineModel machine = machine_name == "perlmutter" ? MachineModel::perlmutter()
+                               : machine_name == "crusher"  ? MachineModel::crusher()
+                                                            : MachineModel::cori_haswell();
+
+  const CsrMatrix a = load_matrix(matrix, scale);
+  int levels = 0;
+  while ((1 << levels) < shape.pz) ++levels;
+  if (!csv) {
+    std::printf("matrix %s: n=%d nnz=%lld; factoring with %d tracked ND levels...\n",
+                matrix.c_str(), a.rows(), static_cast<long long>(a.nnz()), levels);
+  }
+  const FactoredSystem fs = analyze_and_factor(a, levels);
+
+  std::vector<Real> b(static_cast<size_t>(a.rows()) * nrhs);
+  for (size_t i = 0; i < b.size(); ++i) b[i] = 1.0 + 1e-3 * static_cast<Real>(i % 131);
+
+  if (gpu) {
+    GpuSolveConfig cfg;
+    cfg.shape = shape;
+    cfg.nrhs = nrhs;
+    cfg.backend = GpuBackend::kGpu;
+    const GpuSolveTimes t = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, machine);
+    if (csv) {
+      std::printf("%s,%dx%dx%d,gpu,%s,%d,%.6e,%.6e,%.6e,%.6e\n", matrix.c_str(),
+                  shape.px, shape.py, shape.pz, machine.name.c_str(),
+                  static_cast<int>(nrhs), t.total, t.l_solve, t.u_solve, t.z_comm);
+    } else {
+      std::printf("GPU model on %s: total %.3e s (L %.3e, U %.3e, Z %.3e)\n",
+                  machine.name.c_str(), t.total, t.l_solve, t.u_solve, t.z_comm);
+    }
+    return 0;
+  }
+
+  SolveConfig cfg;
+  cfg.shape = shape;
+  cfg.algorithm = alg;
+  cfg.tree = tree;
+  cfg.nrhs = nrhs;
+
+  if (refine) {
+    const RefinementResult r = iterative_refinement(a, fs, b, cfg, machine);
+    if (csv) {
+      std::printf("%s,%dx%dx%d,refine,%s,%d,%.6e,%d,%.3e\n", matrix.c_str(), shape.px,
+                  shape.py, shape.pz, machine.name.c_str(), static_cast<int>(nrhs),
+                  r.modeled_solve_time, static_cast<int>(r.iterations()),
+                  r.residual_history.back());
+    } else {
+      std::printf("refined in %d iterations to residual %.2e; modeled solve time "
+                  "%.3e s\n",
+                  static_cast<int>(r.iterations()), r.residual_history.back(),
+                  r.modeled_solve_time);
+    }
+    return r.converged ? 0 : 1;
+  }
+
+  const DistSolveOutcome out = solve_system_3d(fs, b, cfg, machine);
+  const Real resid = relative_residual(a, out.x, b, nrhs);
+  if (csv) {
+    std::printf("%s,%dx%dx%d,%s,%s,%d,%.6e,%.3e\n", matrix.c_str(), shape.px, shape.py,
+                shape.pz, alg == Algorithm3d::kProposed ? "new" : "baseline",
+                machine.name.c_str(), static_cast<int>(nrhs), out.makespan, resid);
+  } else {
+    std::printf("%s algorithm on %s (%s trees): modeled %.3e s, residual %.2e\n",
+                alg == Algorithm3d::kProposed ? "proposed" : "baseline",
+                machine.name.c_str(), tree == TreeKind::kBinary ? "binary" : "flat",
+                out.makespan, resid);
+    std::printf("  breakdown (mean/rank): FP %.3e, XY %.3e, Z %.3e\n",
+                out.mean(&RankPhaseTimes::l_fp) + out.mean(&RankPhaseTimes::u_fp),
+                out.mean(&RankPhaseTimes::l_xy) + out.mean(&RankPhaseTimes::u_xy),
+                out.mean(&RankPhaseTimes::l_z) + out.mean(&RankPhaseTimes::z_time) +
+                    out.mean(&RankPhaseTimes::u_z));
+  }
+  return resid < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+#pragma once
+/// \file sparse_allreduce.hpp
+/// \brief Sparse AllReduce of partial solution vectors across the Pz grids
+/// (paper Algorithm 2 / Fig 3).
+///
+/// After the 2D L-solves, each grid holds *partial* solutions for its
+/// replicated ancestor nodes; the complete value is the sum over the
+/// replication group. Instead of one MPI_Allreduce per elimination-tree
+/// node (latency O(#nodes * log Pz)), the sparse scheme does one pairwise
+/// exchange per tree level with the per-level shared ancestors packed into
+/// a single buffer: O(log Pz) messages per process total. The reduce phase
+/// sums toward the smallest grid id of each replication group (matching the
+/// "z is the smallest grid id replicating a" RHS rule of Algorithm 1); the
+/// broadcast phase mirrors it back.
+///
+/// Note the paper's Algorithm 2 pseudocode swaps the send/recv conditions
+/// relative to its Fig 3; we follow the figure (see DESIGN.md §5).
+
+#include <span>
+#include <vector>
+
+#include "ordering/nested_dissection.hpp"
+#include "runtime/cluster.hpp"
+
+namespace sptrsv {
+
+/// One replicated segment: the local slice of the solution subvector of a
+/// tracked tree node. Slices of the same node have identical length and
+/// element order on every grid sharing it (same 2D position, same layout).
+struct ReduceSegment {
+  Idx node = kNoIdx;       ///< tracked NdTree node id (an ancestor of my leaf)
+  std::span<Real> values;  ///< local slice; summed in place
+};
+
+/// Performs the sparse allreduce over `zcomm` (one rank per grid, rank ==
+/// grid id z, size == tree.num_leaves()). `segments` must hold exactly the
+/// ancestors (depth < tree.levels()) of leaf z, in any order. On return
+/// every grid's segments contain the complete sums. Communication time is
+/// attributed to `cat` (inter-grid / Z in the paper's breakdown).
+void sparse_allreduce(Comm& zcomm, const NdTree& tree,
+                      std::span<const ReduceSegment> segments,
+                      TimeCategory cat = TimeCategory::kZComm);
+
+/// Ablation baseline: one dense `allreduce_sum` over the whole z
+/// communicator per tracked internal node, padding with zeros on grids that
+/// do not share the node — the "straightforward implementation using
+/// MPI_allreduce for each node k" the paper argues against (§3.2).
+void dense_allreduce_per_node(Comm& zcomm, const NdTree& tree,
+                              std::span<const ReduceSegment> segments,
+                              TimeCategory cat = TimeCategory::kZComm);
+
+}  // namespace sptrsv

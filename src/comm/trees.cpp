@@ -1,0 +1,64 @@
+#include "comm/trees.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sptrsv {
+
+CommTree CommTree::build(TreeKind kind, std::span<const int> members, int root) {
+  CommTree t;
+  t.ordered_.assign(members.begin(), members.end());
+  std::sort(t.ordered_.begin(), t.ordered_.end());
+  t.ordered_.erase(std::unique(t.ordered_.begin(), t.ordered_.end()), t.ordered_.end());
+  const auto it = std::find(t.ordered_.begin(), t.ordered_.end(), root);
+  if (it == t.ordered_.end()) {
+    throw std::invalid_argument("CommTree::build: root is not a member");
+  }
+  // Root first, remaining members in sorted order (deterministic layout).
+  std::rotate(t.ordered_.begin(), it, it + 1);
+  std::sort(t.ordered_.begin() + 1, t.ordered_.end());
+  t.root_ = root;
+
+  const int n = static_cast<int>(t.ordered_.size());
+  for (int p = 0; p < n; ++p) t.pos_[t.ordered_[static_cast<size_t>(p)]] = p;
+  t.children_.resize(static_cast<size_t>(n));
+  t.parent_.assign(static_cast<size_t>(n), kNoIdx);
+  if (kind == TreeKind::kBinary) {
+    // Heap layout over positions: children of position p are 2p+1, 2p+2.
+    for (int p = 1; p < n; ++p) {
+      const int par = (p - 1) / 2;
+      t.parent_[static_cast<size_t>(p)] = t.ordered_[static_cast<size_t>(par)];
+      t.children_[static_cast<size_t>(par)].push_back(t.ordered_[static_cast<size_t>(p)]);
+    }
+  } else {  // flat: root fans out to everyone
+    for (int p = 1; p < n; ++p) {
+      t.parent_[static_cast<size_t>(p)] = root;
+      t.children_[0].push_back(t.ordered_[static_cast<size_t>(p)]);
+    }
+  }
+  return t;
+}
+
+int CommTree::parent_of(int rank) const {
+  const auto it = pos_.find(rank);
+  if (it == pos_.end()) throw std::out_of_range("CommTree::parent_of: not a member");
+  return parent_[static_cast<size_t>(it->second)];
+}
+
+std::span<const int> CommTree::children_of(int rank) const {
+  const auto it = pos_.find(rank);
+  if (it == pos_.end()) throw std::out_of_range("CommTree::children_of: not a member");
+  return children_[static_cast<size_t>(it->second)];
+}
+
+int CommTree::depth() const {
+  int d = 0;
+  for (int p = 0; p < num_members(); ++p) {
+    int hops = 0;
+    for (int v = p; v != 0; v = pos_.at(parent_[static_cast<size_t>(v)])) ++hops;
+    d = std::max(d, hops);
+  }
+  return d;
+}
+
+}  // namespace sptrsv

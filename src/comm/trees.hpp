@@ -1,0 +1,60 @@
+#pragma once
+/// \file trees.hpp
+/// \brief Broadcast / reduction communication trees (paper §3.3, ref [29]).
+///
+/// In the 2D solve, the process that computes y(I) must broadcast it to the
+/// processes owning blocks L(K,I); symmetrically, partial sums lsum(K) must
+/// be reduced to the diagonal owner of K. A flat fan-out makes the root send
+/// O(P) messages; the binary tree caps every process at <= 3 messages per
+/// supernode, trading total latency O(P) for O(log P) — the paper's intra-
+/// grid latency optimization. One tree is built per supernode column (bcast)
+/// and per supernode row (reduction); roots are the diagonal owners.
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace sptrsv {
+
+/// Tree shape selector (the flat variant is the un-optimized ablation).
+enum class TreeKind { kBinary, kFlat };
+
+/// A broadcast/reduction tree over a set of member ranks.
+///
+/// Broadcast: each member forwards a received value to `children_of(me)`.
+/// Reduction: each member sends its accumulated value to `parent_of(me)`
+/// once it has received from all children. Both directions share one shape.
+class CommTree {
+ public:
+  CommTree() = default;
+
+  /// Builds a tree over `members` rooted at `root` (must be a member).
+  /// Members may be in any order; the layout is deterministic in the
+  /// sorted member order, so every rank builds the identical tree locally.
+  static CommTree build(TreeKind kind, std::span<const int> members, int root);
+
+  int root() const { return root_; }
+  int num_members() const { return static_cast<int>(ordered_.size()); }
+  bool contains(int rank) const { return pos_.count(rank) != 0; }
+
+  /// Parent rank of `rank`, or kNoIdx for the root.
+  int parent_of(int rank) const;
+  /// Children ranks of `rank` (0-2 for binary; up to n-1 for flat root).
+  std::span<const int> children_of(int rank) const;
+  /// Number of children (reduction readiness counting).
+  int num_children(int rank) const { return static_cast<int>(children_of(rank).size()); }
+
+  /// Longest root-to-leaf hop count (0 for a singleton).
+  int depth() const;
+
+ private:
+  int root_ = kNoIdx;
+  std::vector<int> ordered_;                    // root first, then heap layout
+  std::unordered_map<int, int> pos_;            // rank -> position in ordered_
+  std::vector<std::vector<int>> children_;      // by position
+  std::vector<int> parent_;                     // by position (kNoIdx for root)
+};
+
+}  // namespace sptrsv

@@ -1,0 +1,333 @@
+#include "core/solver2d.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "factor/dense.hpp"
+
+namespace sptrsv {
+
+namespace {
+
+// Tag layout within a solve's window: tag_base + 4*supernode + kind.
+constexpr int kKindYsol = 0;  // L-solve solution broadcast
+constexpr int kKindLsum = 1;  // L-solve partial-sum reduction
+constexpr int kKindXsol = 2;  // U-solve solution broadcast
+constexpr int kKindUsum = 3;  // U-solve partial-sum reduction
+
+}  // namespace
+
+LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_local,
+                          const VecMap& lsum_in, Idx nrhs, int tag_base,
+                          TimeCategory cat) {
+  const auto& shape = plan.shape();
+  const auto& lu = plan.lu();
+  const auto& part = lu.sym.part;
+  const int me = grid.rank();
+  const int myrow = shape.row_of(me);
+  const int mycol = shape.col_of(me);
+  const Idx nsup_window = static_cast<Idx>(lu.num_supernodes());
+
+  LSolve2dResult result;
+
+  // Per-row reduction state (only rows whose reduction tree I belong to).
+  struct RowState {
+    std::vector<Real> lsum;
+    Idx pending = 0;
+  };
+  std::unordered_map<Idx, RowState> rowstate;  // key: row position
+  int expected = 0;
+
+  for (Idx rp = 0; rp < plan.num_rows(); ++rp) {
+    const TreeView t = plan.l_reduce(rp);
+    if (!t.contains(me)) continue;
+    const Idx i = plan.rows()[static_cast<size_t>(rp)];
+    RowState st;
+    st.lsum.assign(static_cast<size_t>(part.width(i)) * nrhs, 0.0);
+    if (shape.owner_row(i) == myrow) {
+      for (const Idx k : plan.row_pattern(rp)) {
+        if (shape.owner_col(k) == mycol) ++st.pending;
+      }
+    }
+    const int children = t.num_children(me);
+    st.pending += children;
+    expected += children;
+    if (t.root() == me) {
+      const auto it = lsum_in.find(i);
+      if (it != lsum_in.end()) {
+        if (it->second.size() != st.lsum.size()) {
+          throw std::invalid_argument("solve_l_2d: lsum_in size mismatch");
+        }
+        for (size_t v = 0; v < st.lsum.size(); ++v) st.lsum[v] += it->second[v];
+      }
+    }
+    rowstate.emplace(rp, std::move(st));
+  }
+  for (Idx cp = 0; cp < plan.num_cols(); ++cp) {
+    const TreeView t = plan.l_bcast(cp);
+    if (t.contains(me) && t.root() != me) ++expected;
+  }
+
+  // Handlers communicate through an explicit ready queue instead of
+  // recursing: DAG chains can be O(nsup) long (e.g. on a 1x1 grid), which
+  // would otherwise overflow the rank thread's stack.
+  std::vector<Idx> ready_rows;
+
+  auto process_y = [&](Idx cp, std::span<const Real> yk) {
+    const Idx k = plan.cols()[static_cast<size_t>(cp)];
+    const TreeView t = plan.l_bcast(cp);
+    t.for_each_child(me, [&](int child) {
+      grid.send(child, tag_base + 4 * static_cast<int>(k) + kKindYsol,
+                std::vector<Real>(yk.begin(), yk.end()), cat);
+    });
+    // Fold y(K) into my blocks' partial sums: lsum(I) += L(I,K) * y(K).
+    const auto blist = plan.below(cp);
+    const auto bidx = plan.below_index(cp);
+    const Idx wk = part.width(k);
+    const Idx ldk = lu.sym.panel_rows[static_cast<size_t>(k)];
+    for (size_t bi = 0; bi < blist.size(); ++bi) {
+      const Idx i = blist[bi];
+      if (shape.owner_row(i) != myrow || shape.owner_col(k) != mycol) continue;
+      const Idx rp = plan.row_pos(i);
+      auto& st = rowstate.at(rp);
+      const Idx wi = part.width(i);
+      const Idx off =
+          lu.sym.below_offset[static_cast<size_t>(k)][static_cast<size_t>(bidx[bi])];
+      gemm_plus_ld(wi, wk, nrhs,
+                   std::span<const Real>(lu.lpanel[static_cast<size_t>(k)]).subspan(
+                       static_cast<size_t>(off)),
+                   ldk, yk, wk, st.lsum, wi);
+      grid.compute(plan.block_flops(i, k, nrhs));
+      if (--st.pending == 0) ready_rows.push_back(rp);
+    }
+  };
+
+  auto complete_row = [&](Idx rp) {
+    const Idx i = plan.rows()[static_cast<size_t>(rp)];
+    const TreeView t = plan.l_reduce(rp);
+    auto& st = rowstate.at(rp);
+    if (t.root() != me) {
+      grid.send(t.parent_of(me), tag_base + 4 * static_cast<int>(i) + kKindLsum,
+                std::move(st.lsum), cat);
+      return;
+    }
+    const Idx cp = plan.col_pos(i);
+    if (cp == kNoIdx) {  // external row: hand the accumulated sums back
+      result.external_lsum.emplace(i, std::move(st.lsum));
+      return;
+    }
+    // Diagonal solve: y(K) = inv(L_KK) * (b(K) - lsum(K)).
+    const Idx w = part.width(i);
+    std::vector<Real> rhs(static_cast<size_t>(w) * nrhs, 0.0);
+    const auto itb = b_local.find(i);
+    if (itb != b_local.end()) {
+      if (itb->second.size() != rhs.size()) {
+        throw std::invalid_argument("solve_l_2d: b_local size mismatch");
+      }
+      rhs = itb->second;
+    }
+    for (size_t v = 0; v < rhs.size(); ++v) rhs[v] -= st.lsum[v];
+    std::vector<Real> yk(static_cast<size_t>(w) * nrhs, 0.0);
+    gemm_plus(w, w, nrhs, lu.diag_linv[static_cast<size_t>(i)], rhs, yk);
+    grid.compute(plan.diag_flops(i, nrhs));
+    const auto [it, inserted] = result.y.emplace(i, std::move(yk));
+    assert(inserted);
+    process_y(cp, it->second);
+  };
+
+  auto drain = [&] {
+    while (!ready_rows.empty()) {
+      const Idx rp = ready_rows.back();
+      ready_rows.pop_back();
+      complete_row(rp);
+    }
+  };
+
+  // Kick off: rows that are already complete (DAG sources and externals
+  // with no local contributions).
+  for (auto& [rp, st] : rowstate) {
+    if (st.pending == 0) ready_rows.push_back(rp);
+  }
+  drain();
+
+  // Message-driven loop (Algorithm 3's while-loop).
+  const int tag_hi = tag_base + 4 * static_cast<int>(nsup_window) + 4;
+  while (expected > 0) {
+    Message m = grid.recv_range(kAnySource, tag_base, tag_hi, cat);
+    --expected;
+    const int rel = m.tag - tag_base;
+    const Idx k = static_cast<Idx>(rel / 4);
+    const int kind = rel % 4;
+    if (kind == kKindYsol) {
+      process_y(plan.col_pos(k), m.data);
+    } else if (kind == kKindLsum) {
+      const Idx rp = plan.row_pos(k);
+      auto& st = rowstate.at(rp);
+      if (m.data.size() != st.lsum.size()) {
+        throw std::runtime_error("solve_l_2d: lsum message size mismatch");
+      }
+      for (size_t v = 0; v < st.lsum.size(); ++v) st.lsum[v] += m.data[v];
+      if (--st.pending == 0) ready_rows.push_back(rp);
+    } else {
+      throw std::runtime_error("solve_l_2d: unexpected message kind");
+    }
+    drain();
+  }
+  return result;
+}
+
+USolve2dResult solve_u_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& y_local,
+                          const VecMap& x_external, Idx nrhs, int tag_base,
+                          TimeCategory cat) {
+  const auto& shape = plan.shape();
+  const auto& lu = plan.lu();
+  const auto& part = lu.sym.part;
+  const int me = grid.rank();
+  const int myrow = shape.row_of(me);
+  const int mycol = shape.col_of(me);
+  const Idx nsup_window = static_cast<Idx>(lu.num_supernodes());
+
+  USolve2dResult result;
+
+  // Per-column reduction state (columns whose U-reduction tree I'm in).
+  struct ColState {
+    std::vector<Real> usum;
+    Idx pending = 0;
+  };
+  std::unordered_map<Idx, ColState> colstate;  // key: column position
+  int expected = 0;
+
+  for (Idx cp = 0; cp < plan.num_cols(); ++cp) {
+    const TreeView t = plan.u_reduce(cp);
+    if (!t.contains(me)) continue;
+    const Idx k = plan.cols()[static_cast<size_t>(cp)];
+    ColState st;
+    st.usum.assign(static_cast<size_t>(part.width(k)) * nrhs, 0.0);
+    if (shape.owner_row(k) == myrow) {
+      for (const Idx i : plan.below(cp)) {
+        if (shape.owner_col(i) == mycol) ++st.pending;
+      }
+    }
+    const int children = t.num_children(me);
+    st.pending += children;
+    expected += children;
+    colstate.emplace(cp, std::move(st));
+  }
+  for (Idx rp = 0; rp < plan.num_rows(); ++rp) {
+    const TreeView t = plan.u_bcast(rp);
+    if (t.contains(me) && t.root() != me) ++expected;
+  }
+
+  std::vector<Idx> ready_cols;  // explicit queue; see L-solve comment
+
+  auto process_x = [&](Idx rp, std::span<const Real> xi) {
+    const Idx i = plan.rows()[static_cast<size_t>(rp)];
+    const TreeView t = plan.u_bcast(rp);
+    t.for_each_child(me, [&](int child) {
+      grid.send(child, tag_base + 4 * static_cast<int>(i) + kKindXsol,
+                std::vector<Real>(xi.begin(), xi.end()), cat);
+    });
+    // usum(K) += U(K,I) * x(I) for my blocks in this row of the pattern.
+    const auto pat = plan.row_pattern(rp);
+    const auto pidx = plan.row_pattern_index(rp);
+    const Idx wi = part.width(i);
+    for (size_t pi = 0; pi < pat.size(); ++pi) {
+      const Idx k = pat[pi];
+      if (shape.owner_row(k) != myrow || shape.owner_col(i) != mycol) continue;
+      const Idx cp = plan.col_pos(k);
+      auto& st = colstate.at(cp);
+      const Idx wk = part.width(k);
+      const Idx off =
+          lu.sym.below_offset[static_cast<size_t>(k)][static_cast<size_t>(pidx[pi])];
+      // U(K,I) is a packed wk x wi block at column offset `off` of K's panel.
+      gemm_plus_ld(wk, wi, nrhs,
+                   std::span<const Real>(lu.upanel[static_cast<size_t>(k)])
+                       .subspan(static_cast<size_t>(off) * static_cast<size_t>(wk)),
+                   wk, xi, wi, st.usum, wk);
+      grid.compute(plan.block_flops(i, k, nrhs));
+      if (--st.pending == 0) ready_cols.push_back(cp);
+    }
+  };
+
+  auto complete_col = [&](Idx cp) {
+    const Idx k = plan.cols()[static_cast<size_t>(cp)];
+    const TreeView t = plan.u_reduce(cp);
+    auto& st = colstate.at(cp);
+    if (t.root() != me) {
+      grid.send(t.parent_of(me), tag_base + 4 * static_cast<int>(k) + kKindUsum,
+                std::move(st.usum), cat);
+      return;
+    }
+    // x(K) = inv(U_KK) * (y(K) - usum(K)).
+    const Idx w = part.width(k);
+    std::vector<Real> rhs(static_cast<size_t>(w) * nrhs, 0.0);
+    const auto ity = y_local.find(k);
+    if (ity != y_local.end()) {
+      if (ity->second.size() != rhs.size()) {
+        throw std::invalid_argument("solve_u_2d: y_local size mismatch");
+      }
+      rhs = ity->second;
+    }
+    for (size_t v = 0; v < rhs.size(); ++v) rhs[v] -= st.usum[v];
+    std::vector<Real> xk(static_cast<size_t>(w) * nrhs, 0.0);
+    gemm_plus(w, w, nrhs, lu.diag_uinv[static_cast<size_t>(k)], rhs, xk);
+    grid.compute(plan.diag_flops(k, nrhs));
+    const auto [it, inserted] = result.x.emplace(k, std::move(xk));
+    assert(inserted);
+    process_x(plan.row_pos(k), it->second);
+  };
+
+  auto drain = [&] {
+    while (!ready_cols.empty()) {
+      const Idx cp = ready_cols.back();
+      ready_cols.pop_back();
+      complete_col(cp);
+    }
+  };
+
+  // Kick off. Queue the zero-dependency columns BEFORE processing external
+  // rows: external broadcasts decrement pendings and push newly-completed
+  // columns themselves, so queueing afterwards would enqueue those twice.
+  for (auto& [cp, st] : colstate) {
+    if (st.pending == 0) ready_cols.push_back(cp);
+  }
+  for (const Idx i : plan.external_rows()) {
+    const Idx rp = plan.row_pos(i);
+    const TreeView t = plan.u_bcast(rp);
+    if (t.root() != me) continue;
+    const auto it = x_external.find(i);
+    if (it == x_external.end()) {
+      throw std::invalid_argument("solve_u_2d: missing x_external for row " +
+                                  std::to_string(i));
+    }
+    process_x(rp, it->second);
+  }
+  drain();
+
+  const int tag_hi = tag_base + 4 * static_cast<int>(nsup_window) + 4;
+  while (expected > 0) {
+    Message m = grid.recv_range(kAnySource, tag_base, tag_hi, cat);
+    --expected;
+    const int rel = m.tag - tag_base;
+    const Idx k = static_cast<Idx>(rel / 4);
+    const int kind = rel % 4;
+    if (kind == kKindXsol) {
+      process_x(plan.row_pos(k), m.data);
+    } else if (kind == kKindUsum) {
+      const Idx cp = plan.col_pos(k);
+      auto& st = colstate.at(cp);
+      if (m.data.size() != st.usum.size()) {
+        throw std::runtime_error("solve_u_2d: usum message size mismatch");
+      }
+      for (size_t v = 0; v < st.usum.size(); ++v) st.usum[v] += m.data[v];
+      if (--st.pending == 0) ready_cols.push_back(cp);
+    } else {
+      throw std::runtime_error("solve_u_2d: unexpected message kind");
+    }
+    drain();
+  }
+  return result;
+}
+
+}  // namespace sptrsv

@@ -1,0 +1,51 @@
+#pragma once
+/// \file layout.hpp
+/// \brief 2D block-cyclic process layout and the 3D grid geometry.
+///
+/// Supernodal block (I,J) lives on process (I mod Px, J mod Py) of a 2D
+/// grid — SuperLU_DIST's layout, which the paper builds on. Crucially the
+/// cyclic map uses *global* supernode ids, so a replicated ancestor
+/// supernode maps to the same (x,y) process position in every 2D grid that
+/// shares it; the sparse allreduce (Algorithm 2) relies on that alignment.
+
+#include "sparse/types.hpp"
+
+namespace sptrsv {
+
+/// Shape of one 2D process grid.
+struct Grid2dShape {
+  int px = 1;  ///< process rows
+  int py = 1;  ///< process columns
+
+  int size() const { return px * py; }
+  /// Grid rank of process (row r, column c); row-major.
+  int rank_of(int r, int c) const { return r * py + c; }
+  int row_of(int rank) const { return rank / py; }
+  int col_of(int rank) const { return rank % py; }
+
+  /// Process row owning block-row I.
+  int owner_row(Idx i) const { return static_cast<int>(i % px); }
+  /// Process column owning block-column J.
+  int owner_col(Idx j) const { return static_cast<int>(j % py); }
+  /// Grid rank owning block (I,J).
+  int owner(Idx i, Idx j) const { return rank_of(owner_row(i), owner_col(j)); }
+  /// Grid rank owning the diagonal block (and solution subvector) of K.
+  int diag_owner(Idx k) const { return owner(k, k); }
+};
+
+/// Shape of the full 3D layout (paper Fig 1).
+struct Grid3dShape {
+  int px = 1;
+  int py = 1;
+  int pz = 1;
+
+  int size() const { return px * py * pz; }
+  Grid2dShape grid2d() const { return {px, py}; }
+
+  /// World-rank decomposition: consecutive px*py ranks form one 2D grid.
+  int z_of(int world_rank) const { return world_rank / (px * py); }
+  int grid_rank_of(int world_rank) const { return world_rank % (px * py); }
+  int world_rank(int z, int grid_rank) const { return z * px * py + grid_rank; }
+};
+
+}  // namespace sptrsv

@@ -1,0 +1,153 @@
+#include "dist/solve_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sptrsv {
+
+namespace {
+
+/// Builds a member list: root first, remaining members ascending, deduped.
+std::vector<int> make_members(int root, std::vector<int> others) {
+  std::sort(others.begin(), others.end());
+  others.erase(std::unique(others.begin(), others.end()), others.end());
+  std::vector<int> out{root};
+  for (const int r : others) {
+    if (r != root) out.push_back(r);
+  }
+  return out;
+}
+
+Idx find_pos(std::span<const Idx> sorted, Idx v) {
+  const auto it = std::lower_bound(sorted.begin(), sorted.end(), v);
+  if (it == sorted.end() || *it != v) return kNoIdx;
+  return static_cast<Idx>(it - sorted.begin());
+}
+
+}  // namespace
+
+Idx Solve2dPlan::col_pos(Idx k) const { return find_pos(cols_, k); }
+Idx Solve2dPlan::row_pos(Idx i) const { return find_pos(rows_, i); }
+
+Solve2dPlan Solve2dPlan::build(const SupernodalLU& lu, Grid2dShape shape, TreeKind kind,
+                               std::vector<Idx> cols, std::vector<Idx> extra_rows) {
+  if (!std::is_sorted(cols.begin(), cols.end()) ||
+      std::adjacent_find(cols.begin(), cols.end()) != cols.end()) {
+    throw std::invalid_argument("Solve2dPlan: cols must be sorted unique");
+  }
+  Solve2dPlan p;
+  p.lu_ = &lu;
+  p.shape_ = shape;
+  p.kind_ = kind;
+  p.cols_ = std::move(cols);
+
+  // rows = cols ∪ extra_rows (sorted unique).
+  p.rows_ = p.cols_;
+  p.rows_.insert(p.rows_.end(), extra_rows.begin(), extra_rows.end());
+  std::sort(p.rows_.begin(), p.rows_.end());
+  p.rows_.erase(std::unique(p.rows_.begin(), p.rows_.end()), p.rows_.end());
+  for (const Idx r : p.rows_) {
+    if (find_pos(p.cols_, r) == kNoIdx) p.external_rows_.push_back(r);
+  }
+
+  const Idx nc = p.num_cols();
+  const Idx nr = p.num_rows();
+  p.below_.resize(static_cast<size_t>(nc));
+  p.below_index_.resize(static_cast<size_t>(nc));
+  p.row_pattern_.resize(static_cast<size_t>(nr));
+  p.row_pattern_index_.resize(static_cast<size_t>(nr));
+
+  // Filter each column's pattern to the tracked rows; record row patterns.
+  for (Idx cp = 0; cp < nc; ++cp) {
+    const Idx k = p.cols_[static_cast<size_t>(cp)];
+    const auto& full = lu.sym.below[static_cast<size_t>(k)];
+    for (size_t bi = 0; bi < full.size(); ++bi) {
+      const Idx i = full[bi];
+      const Idx rp = find_pos(p.rows_, i);
+      if (rp == kNoIdx) continue;  // outside this solve's scope
+      p.below_[static_cast<size_t>(cp)].push_back(i);
+      p.below_index_[static_cast<size_t>(cp)].push_back(static_cast<Idx>(bi));
+      p.row_pattern_[static_cast<size_t>(rp)].push_back(k);
+      p.row_pattern_index_[static_cast<size_t>(rp)].push_back(static_cast<Idx>(bi));
+    }
+  }
+
+  // Communication trees. Roots are the diagonal owners; members are the
+  // grid ranks holding blocks of the column (L broadcast / U reduction) or
+  // of the row (L reduction / U broadcast).
+  p.l_bcast_.resize(static_cast<size_t>(nc));
+  p.u_reduce_.resize(static_cast<size_t>(nc));
+  p.l_reduce_.resize(static_cast<size_t>(nr));
+  p.u_bcast_.resize(static_cast<size_t>(nr));
+  for (Idx cp = 0; cp < nc; ++cp) {
+    const Idx k = p.cols_[static_cast<size_t>(cp)];
+    std::vector<int> bcast, ureduce;
+    for (const Idx i : p.below_[static_cast<size_t>(cp)]) {
+      bcast.push_back(shape.rank_of(shape.owner_row(i), shape.owner_col(k)));
+      ureduce.push_back(shape.rank_of(shape.owner_row(k), shape.owner_col(i)));
+    }
+    p.l_bcast_[static_cast<size_t>(cp)] =
+        make_members(shape.diag_owner(k), std::move(bcast));
+    p.u_reduce_[static_cast<size_t>(cp)] =
+        make_members(shape.diag_owner(k), std::move(ureduce));
+  }
+  for (Idx rp = 0; rp < nr; ++rp) {
+    const Idx i = p.rows_[static_cast<size_t>(rp)];
+    std::vector<int> lreduce, ubcast;
+    for (const Idx k : p.row_pattern_[static_cast<size_t>(rp)]) {
+      lreduce.push_back(shape.rank_of(shape.owner_row(i), shape.owner_col(k)));
+      ubcast.push_back(shape.rank_of(shape.owner_row(k), shape.owner_col(i)));
+    }
+    p.l_reduce_[static_cast<size_t>(rp)] =
+        make_members(shape.diag_owner(i), std::move(lreduce));
+    p.u_bcast_[static_cast<size_t>(rp)] =
+        make_members(shape.diag_owner(i), std::move(ubcast));
+  }
+  return p;
+}
+
+std::pair<Idx, Idx> node_supernode_range(const SymbolicStructure& sym, const NdTree& tree,
+                                         Idx node) {
+  const auto& nd = tree.node(node);
+  if (nd.col_begin == nd.col_end) return {0, 0};  // empty node
+  const Idx first = sym.part.col_to_sn[static_cast<size_t>(nd.col_begin)];
+  const Idx last = sym.part.col_to_sn[static_cast<size_t>(nd.col_end - 1)] + 1;
+  // Forced breaks at node boundaries guarantee clean alignment.
+  if (sym.part.first_col(first) != nd.col_begin ||
+      sym.part.first_col(last - 1) + sym.part.width(last - 1) != nd.col_end) {
+    throw std::logic_error("node_supernode_range: supernodes straddle node boundary");
+  }
+  return {first, last};
+}
+
+std::vector<Idx> supernodes_of_nodes(const SymbolicStructure& sym, const NdTree& tree,
+                                     std::span<const Idx> nodes) {
+  std::vector<Idx> out;
+  for (const Idx node : nodes) {
+    const auto [lo, hi] = node_supernode_range(sym, tree, node);
+    for (Idx k = lo; k < hi; ++k) out.push_back(k);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Solve2dPlan make_grid_plan(const SupernodalLU& lu, const NdTree& tree, Idx leaf,
+                           Grid2dShape shape, TreeKind kind) {
+  const auto path = tree.path_to_root(tree.leaf_node_id(leaf));
+  std::vector<Idx> snodes = supernodes_of_nodes(lu.sym, tree, path);
+  return Solve2dPlan::build(lu, shape, kind, std::move(snodes), {});
+}
+
+Solve2dPlan make_node_plan(const SupernodalLU& lu, const NdTree& tree, Idx node,
+                           Grid2dShape shape, TreeKind kind) {
+  std::vector<Idx> own{node};
+  std::vector<Idx> ancestors;
+  for (Idx v = tree.node(node).parent; v != kNoIdx; v = tree.node(v).parent) {
+    ancestors.push_back(v);
+  }
+  return Solve2dPlan::build(lu, shape, kind, supernodes_of_nodes(lu.sym, tree, own),
+                            supernodes_of_nodes(lu.sym, tree, ancestors));
+}
+
+}  // namespace sptrsv

@@ -1,0 +1,123 @@
+#pragma once
+/// \file solve_plan.hpp
+/// \brief Precomputed structure for one distributed 2D triangular solve.
+///
+/// A plan fixes the scope of a 2D solve on one grid: the set `cols` of
+/// supernodes whose diagonal is solved (the paper's per-node submatrix for
+/// the baseline algorithm, or the whole L^z/U^z of Fig 1(c) for the
+/// proposed algorithm) and the set `rows` of supernodes whose partial sums
+/// are tracked (cols plus replicated ancestors). From the global symbolic
+/// structure it derives, per supernode, the four communication-tree member
+/// lists of §3.3 (L broadcast/reduction, U broadcast/reduction). Plans are
+/// built once per grid and shared read-only by the grid's ranks — exactly
+/// the setup precomputation the paper performs on the CPU before the solve.
+
+#include <vector>
+
+#include "dist/layout.hpp"
+#include "dist/tree_view.hpp"
+#include "factor/supernodal_lu.hpp"
+#include "ordering/nested_dissection.hpp"
+
+namespace sptrsv {
+
+class Solve2dPlan {
+ public:
+  /// Builds a plan. `cols` must be sorted ascending; `rows` must be sorted
+  /// ascending and contain every block row of every column's (filtered)
+  /// pattern that the solve should track. Rows of `cols` are implicitly
+  /// tracked and need not be listed separately.
+  static Solve2dPlan build(const SupernodalLU& lu, Grid2dShape shape, TreeKind kind,
+                           std::vector<Idx> cols, std::vector<Idx> extra_rows);
+
+  const SupernodalLU& lu() const { return *lu_; }
+  const Grid2dShape& shape() const { return shape_; }
+  TreeKind kind() const { return kind_; }
+
+  /// Supernodes solved here, ascending.
+  std::span<const Idx> cols() const { return cols_; }
+  /// All tracked rows (cols plus external targets), ascending.
+  std::span<const Idx> rows() const { return rows_; }
+  /// Rows that are tracked but not solved (partial sums handed back).
+  std::span<const Idx> external_rows() const { return external_rows_; }
+
+  Idx num_cols() const { return static_cast<Idx>(cols_.size()); }
+  Idx num_rows() const { return static_cast<Idx>(rows_.size()); }
+
+  /// Position of supernode in cols()/rows(); kNoIdx if absent.
+  Idx col_pos(Idx k) const;
+  Idx row_pos(Idx i) const;
+
+  /// Below-pattern of column `cp` (position into cols), filtered to rows().
+  std::span<const Idx> below(Idx cp) const { return below_[static_cast<size_t>(cp)]; }
+  /// For each entry of below(cp): its index into lu.sym.below[K] (for
+  /// locating the block inside the global panels).
+  std::span<const Idx> below_index(Idx cp) const {
+    return below_index_[static_cast<size_t>(cp)];
+  }
+
+  /// Columns K in cols() whose pattern contains row `rp` (position into
+  /// rows()), ascending; aligned `pattern_index` gives the entry's index in
+  /// lu.sym.below[K].
+  std::span<const Idx> row_pattern(Idx rp) const {
+    return row_pattern_[static_cast<size_t>(rp)];
+  }
+  std::span<const Idx> row_pattern_index(Idx rp) const {
+    return row_pattern_index_[static_cast<size_t>(rp)];
+  }
+
+  // Communication trees (paper §3.3). All lists have the root first and the
+  // remaining member ranks ascending (see TreeView).
+  TreeView l_bcast(Idx cp) const { return {l_bcast_[static_cast<size_t>(cp)], kind_}; }
+  TreeView u_reduce(Idx cp) const { return {u_reduce_[static_cast<size_t>(cp)], kind_}; }
+  TreeView l_reduce(Idx rp) const { return {l_reduce_[static_cast<size_t>(rp)], kind_}; }
+  TreeView u_bcast(Idx rp) const { return {u_bcast_[static_cast<size_t>(rp)], kind_}; }
+
+  /// Flop count of one GEMV/GEMM with block (I,K) of width-of-I rows.
+  double block_flops(Idx i, Idx k, Idx nrhs) const {
+    return 2.0 * lu_->sym.part.width(i) * lu_->sym.part.width(k) * nrhs;
+  }
+  /// Flop count of applying a diagonal inverse of K.
+  double diag_flops(Idx k, Idx nrhs) const {
+    const double w = lu_->sym.part.width(k);
+    return 2.0 * w * w * nrhs;
+  }
+
+ private:
+  const SupernodalLU* lu_ = nullptr;
+  Grid2dShape shape_;
+  TreeKind kind_ = TreeKind::kBinary;
+  std::vector<Idx> cols_;
+  std::vector<Idx> rows_;
+  std::vector<Idx> external_rows_;
+  std::vector<std::vector<Idx>> below_;
+  std::vector<std::vector<Idx>> below_index_;
+  std::vector<std::vector<Idx>> row_pattern_;
+  std::vector<std::vector<Idx>> row_pattern_index_;
+  std::vector<std::vector<int>> l_bcast_;
+  std::vector<std::vector<int>> l_reduce_;
+  std::vector<std::vector<int>> u_bcast_;
+  std::vector<std::vector<int>> u_reduce_;
+};
+
+/// Supernode id range [first, last) of a tracked tree node's columns.
+/// Requires the supernode partition to respect node boundaries (which
+/// `analyze_and_factor` guarantees via forced breaks).
+std::pair<Idx, Idx> node_supernode_range(const SymbolicStructure& sym, const NdTree& tree,
+                                         Idx node);
+
+/// All supernodes of the given tree nodes, ascending.
+std::vector<Idx> supernodes_of_nodes(const SymbolicStructure& sym, const NdTree& tree,
+                                     std::span<const Idx> nodes);
+
+/// Plan for the proposed algorithm's whole-grid solve on leaf z: cols =
+/// rows = supernodes of the leaf and all its ancestors (Fig 1(c)).
+Solve2dPlan make_grid_plan(const SupernodalLU& lu, const NdTree& tree, Idx leaf,
+                           Grid2dShape shape, TreeKind kind);
+
+/// Plan for one node of the baseline algorithm: cols = the node's
+/// supernodes, external rows = all its ancestors' supernodes.
+Solve2dPlan make_node_plan(const SupernodalLU& lu, const NdTree& tree, Idx node,
+                           Grid2dShape shape, TreeKind kind);
+
+}  // namespace sptrsv

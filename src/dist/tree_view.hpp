@@ -1,0 +1,79 @@
+#pragma once
+/// \file tree_view.hpp
+/// \brief Zero-allocation view of a broadcast/reduction tree stored as a
+/// member list.
+///
+/// Solve plans store one member list per supernode and tree family; every
+/// rank of the grid derives its own parent/children from the shared list,
+/// so trees occupy O(total members) memory instead of O(members) per rank.
+/// Layout: members[0] is the root, members[1..] are the remaining ranks in
+/// ascending order; the binary tree is the heap over positions (children of
+/// position p are 2p+1 and 2p+2), the flat tree parents everyone to root.
+
+#include <algorithm>
+#include <span>
+
+#include "comm/trees.hpp"
+#include "sparse/types.hpp"
+
+namespace sptrsv {
+
+class TreeView {
+ public:
+  TreeView(std::span<const int> members, TreeKind kind)
+      : members_(members), kind_(kind) {}
+
+  int size() const { return static_cast<int>(members_.size()); }
+  bool empty() const { return members_.empty(); }
+  int root() const { return members_.front(); }
+
+  /// Position of `rank` in the member list, or -1 if absent.
+  int pos_of(int rank) const {
+    if (members_.empty()) return -1;
+    if (members_[0] == rank) return 0;
+    const auto tail = members_.subspan(1);
+    const auto it = std::lower_bound(tail.begin(), tail.end(), rank);
+    if (it == tail.end() || *it != rank) return -1;
+    return static_cast<int>(it - tail.begin()) + 1;
+  }
+
+  bool contains(int rank) const { return pos_of(rank) >= 0; }
+
+  /// Parent rank of `rank` (kNoIdx for the root). `rank` must be a member.
+  int parent_of(int rank) const {
+    const int p = pos_of(rank);
+    if (p <= 0) return kNoIdx;
+    if (kind_ == TreeKind::kFlat) return members_[0];
+    return members_[static_cast<size_t>((p - 1) / 2)];
+  }
+
+  /// Number of children of `rank`.
+  int num_children(int rank) const {
+    int n = 0;
+    for_each_child(rank, [&](int) { ++n; });
+    return n;
+  }
+
+  /// Invokes `fn(child_rank)` for each child of `rank`.
+  template <class Fn>
+  void for_each_child(int rank, Fn&& fn) const {
+    const int p = pos_of(rank);
+    if (p < 0) return;
+    const int n = size();
+    if (kind_ == TreeKind::kFlat) {
+      if (p == 0) {
+        for (int i = 1; i < n; ++i) fn(members_[static_cast<size_t>(i)]);
+      }
+      return;
+    }
+    for (int c = 2 * p + 1; c <= 2 * p + 2 && c < n; ++c) {
+      fn(members_[static_cast<size_t>(c)]);
+    }
+  }
+
+ private:
+  std::span<const int> members_;
+  TreeKind kind_;
+};
+
+}  // namespace sptrsv

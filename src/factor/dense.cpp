@@ -1,0 +1,154 @@
+#include "factor/dense.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace sptrsv {
+
+namespace {
+
+/// Shared jki-ordered kernel: C +/-= A*B with arbitrary leading dimensions.
+template <int Sign>
+void gemm_ld(Idx m, Idx k, Idx n, const Real* a, Idx lda, const Real* b, Idx ldb,
+             Real* c, Idx ldc) {
+  for (Idx j = 0; j < n; ++j) {
+    Real* cj = c + static_cast<size_t>(j) * ldc;
+    const Real* bj = b + static_cast<size_t>(j) * ldb;
+    for (Idx p = 0; p < k; ++p) {
+      const Real bpj = Sign * bj[p];
+      if (bpj == 0.0) continue;
+      const Real* ap = a + static_cast<size_t>(p) * lda;
+      for (Idx i = 0; i < m; ++i) {
+        cj[i] += ap[i] * bpj;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_minus(Idx m, Idx k, Idx n, std::span<const Real> a, std::span<const Real> b,
+                std::span<Real> c) {
+  assert(a.size() >= static_cast<size_t>(m) * k);
+  assert(b.size() >= static_cast<size_t>(k) * n);
+  assert(c.size() >= static_cast<size_t>(m) * n);
+  gemm_ld<-1>(m, k, n, a.data(), m, b.data(), k, c.data(), m);
+}
+
+void gemm_plus(Idx m, Idx k, Idx n, std::span<const Real> a, std::span<const Real> b,
+               std::span<Real> c) {
+  assert(a.size() >= static_cast<size_t>(m) * k);
+  assert(b.size() >= static_cast<size_t>(k) * n);
+  assert(c.size() >= static_cast<size_t>(m) * n);
+  gemm_ld<+1>(m, k, n, a.data(), m, b.data(), k, c.data(), m);
+}
+
+void gemm_minus_ld(Idx m, Idx k, Idx n, std::span<const Real> a, Idx lda,
+                   std::span<const Real> b, Idx ldb, std::span<Real> c, Idx ldc) {
+  gemm_ld<-1>(m, k, n, a.data(), lda, b.data(), ldb, c.data(), ldc);
+}
+
+void gemm_plus_ld(Idx m, Idx k, Idx n, std::span<const Real> a, Idx lda,
+                  std::span<const Real> b, Idx ldb, std::span<Real> c, Idx ldc) {
+  gemm_ld<+1>(m, k, n, a.data(), lda, b.data(), ldb, c.data(), ldc);
+}
+
+bool lu_unpivoted_inplace(Idx n, std::span<Real> a) {
+  assert(a.size() >= static_cast<size_t>(n) * n);
+  for (Idx k = 0; k < n; ++k) {
+    const Real pivot = a[static_cast<size_t>(k) * n + k];
+    if (pivot == 0.0) return false;
+    const Real inv_pivot = 1.0 / pivot;
+    for (Idx i = k + 1; i < n; ++i) {
+      a[static_cast<size_t>(k) * n + i] *= inv_pivot;  // L(i,k)
+    }
+    for (Idx j = k + 1; j < n; ++j) {
+      const Real ukj = a[static_cast<size_t>(j) * n + k];
+      if (ukj == 0.0) continue;
+      Real* col_j = a.data() + static_cast<size_t>(j) * n;
+      const Real* col_k = a.data() + static_cast<size_t>(k) * n;
+      for (Idx i = k + 1; i < n; ++i) {
+        col_j[i] -= col_k[i] * ukj;
+      }
+    }
+  }
+  return true;
+}
+
+void invert_unit_lower(Idx n, std::span<const Real> a, std::span<Real> out) {
+  assert(out.size() >= static_cast<size_t>(n) * n);
+  // Column-by-column forward substitution: out(:,j) = L^{-1} e_j.
+  for (Idx j = 0; j < n; ++j) {
+    Real* col = out.data() + static_cast<size_t>(j) * n;
+    for (Idx i = 0; i < n; ++i) col[i] = (i == j) ? 1.0 : 0.0;
+    for (Idx k = j; k < n; ++k) {
+      const Real v = col[k];
+      if (v == 0.0) continue;
+      const Real* lk = a.data() + static_cast<size_t>(k) * n;
+      for (Idx i = k + 1; i < n; ++i) {
+        col[i] -= lk[i] * v;
+      }
+    }
+  }
+}
+
+void invert_upper(Idx n, std::span<const Real> a, std::span<Real> out) {
+  assert(out.size() >= static_cast<size_t>(n) * n);
+  // Back substitution per column: out(:,j) = U^{-1} e_j.
+  for (Idx j = 0; j < n; ++j) {
+    Real* col = out.data() + static_cast<size_t>(j) * n;
+    for (Idx i = 0; i < n; ++i) col[i] = (i == j) ? 1.0 : 0.0;
+    for (Idx k = j; k >= 0; --k) {
+      col[k] /= a[static_cast<size_t>(k) * n + k];
+      const Real v = col[k];
+      if (v == 0.0) continue;
+      const Real* uk = a.data() + static_cast<size_t>(k) * n;
+      for (Idx i = 0; i < k; ++i) {
+        col[i] -= uk[i] * v;
+      }
+    }
+  }
+}
+
+void trsm_right_upper(Idx m, Idx n, std::span<const Real> lu, std::span<Real> b) {
+  // Solve X * U = B column by column of U: X(:,j) = (B(:,j) - X(:,0:j)*U(0:j,j)) / U(j,j).
+  for (Idx j = 0; j < n; ++j) {
+    Real* bj = b.data() + static_cast<size_t>(j) * m;
+    const Real* uj = lu.data() + static_cast<size_t>(j) * n;
+    for (Idx k = 0; k < j; ++k) {
+      const Real ukj = uj[k];
+      if (ukj == 0.0) continue;
+      const Real* bk = b.data() + static_cast<size_t>(k) * m;
+      for (Idx i = 0; i < m; ++i) bj[i] -= bk[i] * ukj;
+    }
+    const Real inv = 1.0 / uj[j];
+    for (Idx i = 0; i < m; ++i) bj[i] *= inv;
+  }
+}
+
+void trsm_left_unit_lower(Idx n, Idx m, std::span<const Real> lu, std::span<Real> b) {
+  // Solve L * X = B: forward substitution down the rows, all RHS columns.
+  for (Idx k = 0; k < n; ++k) {
+    const Real* lk = lu.data() + static_cast<size_t>(k) * n;
+    for (Idx j = 0; j < m; ++j) {
+      Real* bj = b.data() + static_cast<size_t>(j) * n;
+      const Real v = bj[k];
+      if (v == 0.0) continue;
+      for (Idx i = k + 1; i < n; ++i) {
+        bj[i] -= lk[i] * v;
+      }
+    }
+  }
+}
+
+Real frob_diff(std::span<const Real> a, std::span<const Real> b) {
+  assert(a.size() == b.size());
+  Real acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const Real d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace sptrsv

@@ -1,0 +1,61 @@
+#pragma once
+/// \file dense.hpp
+/// \brief Small dense kernels used inside supernodal panels.
+///
+/// All matrices are column-major and packed (leading dimension = number of
+/// rows) unless an explicit `ld` parameter says otherwise. Kernel sizes are
+/// bounded by the supernode width cap, so simple register-blocked loops are
+/// appropriate; no external BLAS is required (none is installed offline).
+
+#include <span>
+
+#include "sparse/types.hpp"
+
+namespace sptrsv {
+
+/// C (m x n) -= A (m x k) * B (k x n); packed column-major.
+void gemm_minus(Idx m, Idx k, Idx n, std::span<const Real> a, std::span<const Real> b,
+                std::span<Real> c);
+
+/// C (m x n) += A (m x k) * B (k x n); packed column-major.
+void gemm_plus(Idx m, Idx k, Idx n, std::span<const Real> a, std::span<const Real> b,
+               std::span<Real> c);
+
+/// C (m x n, ld ldc) -= A (m x k) * B (k x n, ld ldb). Used to update a
+/// block embedded in a taller panel.
+void gemm_minus_ld(Idx m, Idx k, Idx n, std::span<const Real> a, Idx lda,
+                   std::span<const Real> b, Idx ldb, std::span<Real> c, Idx ldc);
+
+/// C (m x n, ld ldc) += A (m x k, ld lda) * B (k x n, ld ldb).
+void gemm_plus_ld(Idx m, Idx k, Idx n, std::span<const Real> a, Idx lda,
+                  std::span<const Real> b, Idx ldb, std::span<Real> c, Idx ldc);
+
+/// In-place unpivoted LU (Doolittle): on return the strict lower triangle
+/// holds L (unit diagonal implied) and the upper triangle holds U.
+/// Returns false if a zero pivot is hit (caller treats as singular).
+bool lu_unpivoted_inplace(Idx n, std::span<Real> a);
+
+/// inv(L) for the unit-lower factor packed in `a` (strict lower + implied
+/// unit diagonal); writes a full n x n matrix with explicit unit diagonal.
+void invert_unit_lower(Idx n, std::span<const Real> a, std::span<Real> out);
+
+/// inv(U) for the upper factor packed in `a` (upper triangle incl diagonal);
+/// writes a full n x n upper-triangular matrix.
+void invert_upper(Idx n, std::span<const Real> a, std::span<Real> out);
+
+/// B (m x n) := B * inv(U) where U is the upper triangle of `lu` (n x n).
+void trsm_right_upper(Idx m, Idx n, std::span<const Real> lu, std::span<Real> b);
+
+/// B (n x m) := inv(L) * B where L is the unit-lower triangle of `lu` (n x n).
+void trsm_left_unit_lower(Idx n, Idx m, std::span<const Real> lu, std::span<Real> b);
+
+/// y (m x nrhs) -= A (m x k) * x (k x nrhs); panel-of-vectors update.
+inline void block_update_minus(Idx m, Idx k, Idx nrhs, std::span<const Real> a,
+                               std::span<const Real> x, std::span<Real> y) {
+  gemm_minus(m, k, nrhs, a, x, y);
+}
+
+/// Frobenius-norm of the difference of two packed matrices (test helper).
+Real frob_diff(std::span<const Real> a, std::span<const Real> b);
+
+}  // namespace sptrsv

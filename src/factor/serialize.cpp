@@ -1,0 +1,193 @@
+#include "factor/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace sptrsv {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x53505452'53563344ULL;  // "SPTRSV3D"
+constexpr std::uint32_t kVersion = 1;
+
+void put_bytes(std::ostream& out, const void* p, size_t n) {
+  out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  if (!out) throw std::runtime_error("save_factored_system: write failed");
+}
+
+void get_bytes(std::istream& in, void* p, size_t n) {
+  in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  if (!in || in.gcount() != static_cast<std::streamsize>(n)) {
+    throw std::runtime_error("load_factored_system: truncated stream");
+  }
+}
+
+template <class T>
+void put(std::ostream& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put_bytes(out, &v, sizeof(T));
+}
+
+template <class T>
+T get(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v;
+  get_bytes(in, &v, sizeof(T));
+  return v;
+}
+
+template <class T>
+void put_vec(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put<std::uint64_t>(out, v.size());
+  if (!v.empty()) put_bytes(out, v.data(), v.size() * sizeof(T));
+}
+
+template <class T>
+std::vector<T> get_vec(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto n = get<std::uint64_t>(in);
+  // Sanity cap: 2^40 bytes would mean a corrupt header.
+  if (n * sizeof(T) > (1ULL << 40)) {
+    throw std::runtime_error("load_factored_system: implausible array size");
+  }
+  std::vector<T> v(static_cast<size_t>(n));
+  if (n > 0) get_bytes(in, v.data(), static_cast<size_t>(n) * sizeof(T));
+  return v;
+}
+
+template <class T>
+void put_vec2(std::ostream& out, const std::vector<std::vector<T>>& v) {
+  put<std::uint64_t>(out, v.size());
+  for (const auto& inner : v) put_vec(out, inner);
+}
+
+template <class T>
+std::vector<std::vector<T>> get_vec2(std::istream& in) {
+  const auto n = get<std::uint64_t>(in);
+  if (n > (1ULL << 32)) {
+    throw std::runtime_error("load_factored_system: implausible outer size");
+  }
+  std::vector<std::vector<T>> v(static_cast<size_t>(n));
+  for (auto& inner : v) inner = get_vec<T>(in);
+  return v;
+}
+
+}  // namespace
+
+void save_factored_system(std::ostream& out, const FactoredSystem& fs) {
+  put(out, kMagic);
+  put(out, kVersion);
+
+  put_vec(out, fs.perm);
+
+  // Tracked tree.
+  put<std::int32_t>(out, fs.tree.levels());
+  put<std::int64_t>(out, fs.tree.num_nodes());
+  for (Idx id = 0; id < fs.tree.num_nodes(); ++id) {
+    const NdNode& nd = fs.tree.node(id);
+    put(out, nd.parent);
+    put(out, nd.left);
+    put(out, nd.right);
+    put(out, nd.depth);
+    put(out, nd.col_begin);
+    put(out, nd.col_end);
+  }
+
+  // Symbolic structure.
+  const SymbolicStructure& sym = fs.lu.sym;
+  put(out, sym.n);
+  put_vec(out, sym.part.start);
+  put_vec(out, sym.part.col_to_sn);
+  put_vec(out, sym.sn_parent);
+  put_vec2(out, sym.below);
+  put_vec2(out, sym.below_offset);
+  put_vec(out, sym.panel_rows);
+
+  // Numeric panels.
+  put_vec2(out, fs.lu.diag);
+  put_vec2(out, fs.lu.diag_linv);
+  put_vec2(out, fs.lu.diag_uinv);
+  put_vec2(out, fs.lu.lpanel);
+  put_vec2(out, fs.lu.upanel);
+}
+
+FactoredSystem load_factored_system(std::istream& in) {
+  if (get<std::uint64_t>(in) != kMagic) {
+    throw std::runtime_error("load_factored_system: bad magic");
+  }
+  if (get<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("load_factored_system: unsupported version");
+  }
+
+  FactoredSystem fs;
+  fs.perm = get_vec<Idx>(in);
+
+  const auto levels = get<std::int32_t>(in);
+  const auto n_nodes = get<std::int64_t>(in);
+  if (levels < 0 || levels > 30 ||
+      n_nodes != ((std::int64_t{1} << (levels + 1)) - 1)) {
+    throw std::runtime_error("load_factored_system: corrupt tree header");
+  }
+  std::vector<NdNode> nodes(static_cast<size_t>(n_nodes));
+  for (auto& nd : nodes) {
+    nd.parent = get<Idx>(in);
+    nd.left = get<Idx>(in);
+    nd.right = get<Idx>(in);
+    nd.depth = get<int>(in);
+    nd.col_begin = get<Idx>(in);
+    nd.col_end = get<Idx>(in);
+  }
+  fs.tree = NdTree(levels, std::move(nodes));
+
+  SymbolicStructure sym;
+  sym.n = get<Idx>(in);
+  sym.part.start = get_vec<Idx>(in);
+  sym.part.col_to_sn = get_vec<Idx>(in);
+  sym.sn_parent = get_vec<Idx>(in);
+  sym.below = get_vec2<Idx>(in);
+  sym.below_offset = get_vec2<Idx>(in);
+  sym.panel_rows = get_vec<Idx>(in);
+  if (!sym.part.check_invariants(sym.n) ||
+      sym.below.size() != static_cast<size_t>(sym.num_supernodes())) {
+    throw std::runtime_error("load_factored_system: corrupt symbolic structure");
+  }
+
+  fs.lu.sym = std::move(sym);
+  fs.lu.diag = get_vec2<Real>(in);
+  fs.lu.diag_linv = get_vec2<Real>(in);
+  fs.lu.diag_uinv = get_vec2<Real>(in);
+  fs.lu.lpanel = get_vec2<Real>(in);
+  fs.lu.upanel = get_vec2<Real>(in);
+  const auto nsup = static_cast<size_t>(fs.lu.num_supernodes());
+  if (fs.lu.diag.size() != nsup || fs.lu.lpanel.size() != nsup ||
+      fs.lu.upanel.size() != nsup || fs.lu.diag_linv.size() != nsup ||
+      fs.lu.diag_uinv.size() != nsup ||
+      fs.perm.size() != static_cast<size_t>(fs.lu.n())) {
+    throw std::runtime_error("load_factored_system: inconsistent panel counts");
+  }
+  if (!is_permutation(fs.perm)) {
+    throw std::runtime_error("load_factored_system: corrupt permutation");
+  }
+  if (!fs.tree.check_invariants(fs.lu.n())) {
+    throw std::runtime_error("load_factored_system: corrupt tree ranges");
+  }
+  return fs;
+}
+
+void save_factored_system_file(const std::string& path, const FactoredSystem& fs) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_factored_system: cannot open " + path);
+  save_factored_system(out, fs);
+}
+
+FactoredSystem load_factored_system_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_factored_system: cannot open " + path);
+  return load_factored_system(in);
+}
+
+}  // namespace sptrsv

@@ -1,0 +1,33 @@
+#pragma once
+/// \file serialize.hpp
+/// \brief Binary save/load of factored systems.
+///
+/// The paper's workloads factor once and solve many times — often across
+/// job boundaries (the artifact's runs spend most wall time in
+/// factorization). Serializing the FactoredSystem lets a user pay the
+/// factorization once and reload it for later solve campaigns.
+///
+/// Format: a little-endian stream with a magic/version header followed by
+/// the permutation, tracked tree, supernode partition, block pattern and
+/// the numeric panels. The format is versioned; loading rejects mismatched
+/// versions and corrupt streams rather than guessing.
+
+#include <iosfwd>
+#include <string>
+
+#include "factor/supernodal_lu.hpp"
+
+namespace sptrsv {
+
+/// Writes `fs` to a binary stream. Throws std::runtime_error on I/O error.
+void save_factored_system(std::ostream& out, const FactoredSystem& fs);
+
+/// Reads a FactoredSystem previously written by save_factored_system.
+/// Throws std::runtime_error on corrupt/incompatible input.
+FactoredSystem load_factored_system(std::istream& in);
+
+/// File-path conveniences.
+void save_factored_system_file(const std::string& path, const FactoredSystem& fs);
+FactoredSystem load_factored_system_file(const std::string& path);
+
+}  // namespace sptrsv

@@ -1,0 +1,173 @@
+#include "factor/sptrsv_seq.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace sptrsv {
+
+namespace {
+
+/// Gathers the supernode-K rows of an n x nrhs column-major vector into a
+/// packed w x nrhs buffer.
+void gather(const SupernodalLU& f, Idx k, std::span<const Real> v, Idx nrhs,
+            std::vector<Real>& out) {
+  const Idx w = f.sym.part.width(k);
+  const Idx base = f.sym.part.first_col(k);
+  const Idx n = f.n();
+  out.resize(static_cast<size_t>(w) * nrhs);
+  for (Idx j = 0; j < nrhs; ++j) {
+    for (Idx i = 0; i < w; ++i) {
+      out[static_cast<size_t>(j) * w + i] = v[static_cast<size_t>(j) * n + base + i];
+    }
+  }
+}
+
+void scatter(const SupernodalLU& f, Idx k, std::span<const Real> in, Idx nrhs,
+             std::span<Real> v) {
+  const Idx w = f.sym.part.width(k);
+  const Idx base = f.sym.part.first_col(k);
+  const Idx n = f.n();
+  for (Idx j = 0; j < nrhs; ++j) {
+    for (Idx i = 0; i < w; ++i) {
+      v[static_cast<size_t>(j) * n + base + i] = in[static_cast<size_t>(j) * w + i];
+    }
+  }
+}
+
+}  // namespace
+
+void solve_l_seq(const SupernodalLU& f, std::span<const Real> b, std::span<Real> y,
+                 Idx nrhs) {
+  const Idx n = f.n();
+  assert(b.size() == static_cast<size_t>(n) * nrhs);
+  assert(y.size() == static_cast<size_t>(n) * nrhs);
+  // lsum accumulates off-diagonal partial sums, scattered by supernode rows.
+  std::vector<Real> lsum(static_cast<size_t>(n) * nrhs, 0.0);
+  std::vector<Real> yk, t;
+  for (Idx k = 0; k < f.num_supernodes(); ++k) {
+    const Idx w = f.sym.part.width(k);
+    gather(f, k, b, nrhs, yk);
+    // yk -= lsum(K)
+    {
+      const Idx base = f.sym.part.first_col(k);
+      for (Idx j = 0; j < nrhs; ++j) {
+        for (Idx i = 0; i < w; ++i) {
+          yk[static_cast<size_t>(j) * w + i] -= lsum[static_cast<size_t>(j) * n + base + i];
+        }
+      }
+    }
+    // yk := inv(L_KK) * yk
+    t.assign(static_cast<size_t>(w) * nrhs, 0.0);
+    gemm_plus(w, w, nrhs, f.diag_linv[static_cast<size_t>(k)], yk, t);
+    scatter(f, k, t, nrhs, y);
+    // lsum(I) += L(I,K) * y(K) for each I below K.
+    const Idx r = f.sym.panel_rows[static_cast<size_t>(k)];
+    if (r == 0) continue;
+    const auto& blist = f.sym.below[static_cast<size_t>(k)];
+    const auto& boff = f.sym.below_offset[static_cast<size_t>(k)];
+    for (size_t bi = 0; bi < blist.size(); ++bi) {
+      const Idx I = blist[bi];
+      const Idx wi = f.sym.part.width(I);
+      const Idx ibase = f.sym.part.first_col(I);
+      // lsum(I) += L(I,K) (wi x w, ld r) * t (w x nrhs)
+      for (Idx j = 0; j < nrhs; ++j) {
+        for (Idx p = 0; p < w; ++p) {
+          const Real v = t[static_cast<size_t>(j) * w + p];
+          if (v == 0.0) continue;
+          const Real* lcol =
+              f.lpanel[static_cast<size_t>(k)].data() + static_cast<size_t>(p) * r + boff[bi];
+          Real* out = lsum.data() + static_cast<size_t>(j) * n + ibase;
+          for (Idx i = 0; i < wi; ++i) out[i] += lcol[i] * v;
+        }
+      }
+    }
+  }
+}
+
+void solve_u_seq(const SupernodalLU& f, std::span<const Real> y, std::span<Real> x,
+                 Idx nrhs) {
+  const Idx n = f.n();
+  assert(y.size() == static_cast<size_t>(n) * nrhs);
+  assert(x.size() == static_cast<size_t>(n) * nrhs);
+  std::vector<Real> xk, t;
+  for (Idx k = f.num_supernodes() - 1; k >= 0; --k) {
+    const Idx w = f.sym.part.width(k);
+    gather(f, k, y, nrhs, xk);
+    // Gather-style: xk -= sum_J U(K,J) x(J), all J > K already solved.
+    const auto& blist = f.sym.below[static_cast<size_t>(k)];
+    const auto& boff = f.sym.below_offset[static_cast<size_t>(k)];
+    for (size_t bj = 0; bj < blist.size(); ++bj) {
+      const Idx J = blist[bj];
+      const Idx wj = f.sym.part.width(J);
+      const Idx jbase = f.sym.part.first_col(J);
+      const Real* ukj =
+          f.upanel[static_cast<size_t>(k)].data() + static_cast<size_t>(boff[bj]) * w;
+      for (Idx j = 0; j < nrhs; ++j) {
+        for (Idx p = 0; p < wj; ++p) {
+          const Real v = x[static_cast<size_t>(j) * n + jbase + p];
+          if (v == 0.0) continue;
+          const Real* ucol = ukj + static_cast<size_t>(p) * w;
+          Real* out = xk.data() + static_cast<size_t>(j) * w;
+          for (Idx i = 0; i < w; ++i) out[i] -= ucol[i] * v;
+        }
+      }
+    }
+    // xk := inv(U_KK) * xk
+    t.assign(static_cast<size_t>(w) * nrhs, 0.0);
+    gemm_plus(w, w, nrhs, f.diag_uinv[static_cast<size_t>(k)], xk, t);
+    scatter(f, k, t, nrhs, x);
+  }
+}
+
+std::vector<Real> solve_seq(const SupernodalLU& f, std::span<const Real> b, Idx nrhs) {
+  std::vector<Real> y(b.size());
+  solve_l_seq(f, b, y, nrhs);
+  std::vector<Real> x(b.size());
+  solve_u_seq(f, y, x, nrhs);
+  return x;
+}
+
+std::vector<Real> solve_system_seq(const FactoredSystem& fs, std::span<const Real> b,
+                                   Idx nrhs) {
+  const Idx n = fs.lu.n();
+  assert(b.size() == static_cast<size_t>(n) * nrhs);
+  std::vector<Real> pb(b.size());
+  // Permuted system: (P A P^T)(P x) = P b; row `new` of pb is row perm[new] of b.
+  for (Idx j = 0; j < nrhs; ++j) {
+    for (Idx i = 0; i < n; ++i) {
+      pb[static_cast<size_t>(j) * n + i] =
+          b[static_cast<size_t>(j) * n + fs.perm[static_cast<size_t>(i)]];
+    }
+  }
+  const std::vector<Real> px = solve_seq(fs.lu, pb, nrhs);
+  std::vector<Real> x(b.size());
+  for (Idx j = 0; j < nrhs; ++j) {
+    for (Idx i = 0; i < n; ++i) {
+      x[static_cast<size_t>(j) * n + fs.perm[static_cast<size_t>(i)]] =
+          px[static_cast<size_t>(j) * n + i];
+    }
+  }
+  return x;
+}
+
+Real relative_residual(const CsrMatrix& a, std::span<const Real> x,
+                       std::span<const Real> b, Idx nrhs) {
+  const Idx n = a.rows();
+  std::vector<Real> ax(static_cast<size_t>(n) * nrhs);
+  a.matmul(x, ax, nrhs);
+  Real worst = 0;
+  for (Idx j = 0; j < nrhs; ++j) {
+    Real num = 0, den = 0;
+    for (Idx i = 0; i < n; ++i) {
+      num = std::max(num, std::abs(ax[static_cast<size_t>(j) * n + i] -
+                                   b[static_cast<size_t>(j) * n + i]));
+      den = std::max(den, std::abs(b[static_cast<size_t>(j) * n + i]));
+    }
+    worst = std::max(worst, num / std::max(den, Real{1e-300}));
+  }
+  return worst;
+}
+
+}  // namespace sptrsv

@@ -1,0 +1,37 @@
+#pragma once
+/// \file sptrsv_seq.hpp
+/// \brief Sequential reference triangular solves on supernodal factors.
+///
+/// These implement Eq (1)/(2) of the paper directly and serve as the golden
+/// reference every distributed algorithm is tested against. Right-hand sides
+/// are n x nrhs column-major.
+
+#include <span>
+#include <vector>
+
+#include "factor/supernodal_lu.hpp"
+
+namespace sptrsv {
+
+/// y := L^{-1} b (L-solve, Eq (1)); b and y may alias.
+void solve_l_seq(const SupernodalLU& f, std::span<const Real> b, std::span<Real> y,
+                 Idx nrhs = 1);
+
+/// x := U^{-1} y (U-solve, Eq (2)); y and x may alias.
+void solve_u_seq(const SupernodalLU& f, std::span<const Real> y, std::span<Real> x,
+                 Idx nrhs = 1);
+
+/// x := (LU)^{-1} b — full solve.
+std::vector<Real> solve_seq(const SupernodalLU& f, std::span<const Real> b, Idx nrhs = 1);
+
+/// Solves A x = b where `fs` factors P A P^T: applies the permutation on the
+/// way in and its inverse on the way out. b is in original (unpermuted) row
+/// order; the result is too.
+std::vector<Real> solve_system_seq(const FactoredSystem& fs, std::span<const Real> b,
+                                   Idx nrhs = 1);
+
+/// ||A x - b||_inf / ||b||_inf, columnwise max over nrhs systems.
+Real relative_residual(const CsrMatrix& a, std::span<const Real> x,
+                       std::span<const Real> b, Idx nrhs = 1);
+
+}  // namespace sptrsv

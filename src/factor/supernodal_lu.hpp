@@ -1,0 +1,92 @@
+#pragma once
+/// \file supernodal_lu.hpp
+/// \brief Supernodal LU factor storage and the numeric factorization.
+///
+/// The solver consumes exactly what the paper assumes from SuperLU_DIST's 3D
+/// factorization (§2.1): supernodal L panels (full rows per block), U row
+/// panels (equal-length columns per block — the paper's simplification of
+/// the skyline format), and precomputed inverted diagonal blocks
+/// L(K,K)^{-1} / U(K,K)^{-1}.
+
+#include <vector>
+
+#include "factor/dense.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "sparse/csr.hpp"
+#include "symbolic/block_pattern.hpp"
+
+namespace sptrsv {
+
+/// LU factors of a symmetric-pattern matrix in supernodal block form.
+///
+/// Per supernode K with width w and panel_rows r:
+///  - `diag[K]`:      w x w packed LU of the diagonal block (L unit-lower).
+///  - `diag_linv[K]`: w x w full inv(L_KK) (explicit unit diagonal).
+///  - `diag_uinv[K]`: w x w upper-triangular inv(U_KK).
+///  - `lpanel[K]`:    r x w column-major; block L(I,K) occupies rows
+///                    [below_offset[K][i], +width(I)) where I = below[K][i].
+///  - `upanel[K]`:    w x r column-major; block U(K,I) occupies columns
+///                    [below_offset[K][i], +width(I)).
+struct SupernodalLU {
+  SymbolicStructure sym;
+  std::vector<std::vector<Real>> diag;
+  std::vector<std::vector<Real>> diag_linv;
+  std::vector<std::vector<Real>> diag_uinv;
+  std::vector<std::vector<Real>> lpanel;
+  std::vector<std::vector<Real>> upanel;
+
+  Idx n() const { return sym.n; }
+  Idx num_supernodes() const { return sym.num_supernodes(); }
+
+  /// View of L(I,K) where `i` indexes below[K]: width(I) x width(K) block
+  /// at leading dimension panel_rows[K].
+  std::span<const Real> lblock(Idx k, size_t i) const {
+    return std::span<const Real>(lpanel[static_cast<size_t>(k)])
+        .subspan(static_cast<size_t>(sym.below_offset[static_cast<size_t>(k)][i]));
+  }
+  /// View of U(K,I): width(K) x width(I) block, packed (ld = width(K)).
+  std::span<const Real> ublock(Idx k, size_t i) const {
+    return std::span<const Real>(upanel[static_cast<size_t>(k)])
+        .subspan(static_cast<size_t>(sym.below_offset[static_cast<size_t>(k)][i]) *
+                 static_cast<size_t>(sym.part.width(k)));
+  }
+
+  /// Reconstructs the dense n x n matrix L*U (small-n test helper).
+  std::vector<Real> reconstruct_dense() const;
+
+  /// Total floating-point operation count of one L-solve + U-solve with
+  /// `nrhs` right-hand sides (2*flops of all block GEMMs + diagonal ops).
+  double solve_flops(Idx nrhs) const;
+};
+
+/// Allocates the factor storage for `sym` and scatters `a`'s values into
+/// the diagonal blocks and L/U panels (no numeric work yet). Shared by the
+/// sequential and distributed factorizations.
+SupernodalLU init_supernodal_storage(const CsrMatrix& a, SymbolicStructure sym);
+
+/// Numeric right-looking supernodal LU factorization. `a` must have a
+/// symmetric pattern and a full diagonal; no pivoting is performed, so the
+/// caller is responsible for numerical viability (the library's generators
+/// produce diagonally dominant matrices). Throws on a zero pivot.
+SupernodalLU factor_supernodal(const CsrMatrix& a, SymbolicStructure sym);
+
+/// Full pipeline convenience: nested-dissection order (with `nd_levels`
+/// tracked levels), symbolic analysis, numeric factorization. Returns the
+/// factor plus the permutation used (new -> old).
+struct FactoredSystem {
+  SupernodalLU lu;
+  std::vector<Idx> perm;  ///< new -> old
+  NdTree tree;            ///< tracked separator tree (see ordering/)
+};
+FactoredSystem analyze_and_factor(const CsrMatrix& a, int nd_levels,
+                                  Idx max_supernode_width = 96);
+
+/// Expert-level pipeline options. `supernode.forced_breaks` is overwritten
+/// with the ND tree node boundaries (the 3D layout requires them).
+struct AnalyzeOptions {
+  NdOptions nd;
+  SupernodeOptions supernode;
+};
+FactoredSystem analyze_and_factor(const CsrMatrix& a, const AnalyzeOptions& opt);
+
+}  // namespace sptrsv

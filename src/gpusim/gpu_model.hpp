@@ -1,0 +1,85 @@
+#pragma once
+/// \file gpu_model.hpp
+/// \brief GPU execution-model primitives for the NVSHMEM solve simulation.
+///
+/// The paper's GPU solves (Algorithms 4 and 5) cannot run here (no GPU, no
+/// NVSHMEM), so `src/gpusim` reproduces them as a discrete-event execution
+/// model that mirrors their structure (DESIGN.md §1):
+///  - one thread block per supernode column; a resident block occupies one
+///    bandwidth slot, so at most `gpu_sms` tasks run concurrently per GPU
+///    at full aggregate bandwidth (see MachineModel::gpu_sms);
+///  - a task costs a launch/spin overhead plus its GEMV/GEMM flops at the
+///    per-SM rate (one thread block uses one SM's bandwidth);
+///  - y(K)/x(K) forwarding between GPUs is a one-sided put whose cost
+///    depends on whether the peer GPU shares the node (NVLink-class) or not
+///    (inter-node fabric) — the bandwidth cliff that limits 2D GPU SpTRSV
+///    to one node in the paper (Fig 11).
+///
+/// The numerics of the GPU algorithms are identical to the CPU path (same
+/// supernodal kernels), so correctness is covered by the CPU solvers; this
+/// model produces the *timing* of the GPU runs.
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/machine.hpp"
+#include "sparse/types.hpp"
+
+namespace sptrsv {
+
+/// Per-GPU execution parameters derived from a MachineModel.
+struct GpuExecModel {
+  int sms = 108;               ///< concurrently resident thread blocks
+  double sm_flop_rate = 5e9;   ///< flops/s of one thread block (one SM), 1 RHS
+  double task_overhead = 2e-6; ///< block scheduling / spin-wait cost (s)
+  /// GEMV (1 RHS) is purely bandwidth-bound; with many RHSs the kernel
+  /// becomes a blocked GEMM (shared-memory MAGMA-style on GPU, paper §3.4;
+  /// register/cache blocking on CPU) whose arithmetic intensity — and thus
+  /// sustained rate — rises with nrhs until the compute-bound cap.
+  double max_gemm_boost = 4.0;
+
+  static GpuExecModel from_machine(const MachineModel& m) {
+    GpuExecModel e;
+    e.sms = m.gpu_sms;
+    e.sm_flop_rate = m.gpu_flop_rate / m.gpu_sms;
+    e.task_overhead = m.gpu_task_overhead;
+    e.max_gemm_boost = m.gpu_gemm_boost_cap;
+    return e;
+  }
+
+  double gemm_boost(Idx nrhs) const {
+    return std::min(max_gemm_boost, std::pow(static_cast<double>(nrhs), 0.4));
+  }
+
+  /// Duration of one block-column task performing `flops` work on `nrhs`
+  /// right-hand sides.
+  double task_time(double flops, Idx nrhs = 1) const {
+    return task_overhead + flops / (sm_flop_rate * gemm_boost(nrhs));
+  }
+};
+
+/// Maps world GPU indices to nodes and prices one-sided puts.
+struct GpuFabric {
+  double latency_intra = 1e-6;
+  double latency_inter = 6e-6;
+  double bw_intranode = 300e9;
+  double bw_internode = 12.5e9;
+  int gpus_per_node = 4;
+
+  static GpuFabric from_machine(const MachineModel& m) {
+    return {m.nvshmem_latency, m.nvshmem_latency_internode, m.bw_gpu_intranode,
+            m.bw_gpu_internode, m.gpus_per_node};
+  }
+
+  bool same_node(int gpu_a, int gpu_b) const {
+    return gpu_a / gpus_per_node == gpu_b / gpus_per_node;
+  }
+
+  /// Time for a one-sided put of `bytes` from gpu_a to gpu_b.
+  double put_time(int gpu_a, int gpu_b, double bytes) const {
+    if (same_node(gpu_a, gpu_b)) return latency_intra + bytes / bw_intranode;
+    return latency_inter + bytes / bw_internode;
+  }
+};
+
+}  // namespace sptrsv

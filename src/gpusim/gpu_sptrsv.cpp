@@ -1,0 +1,380 @@
+#include "gpusim/gpu_sptrsv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "dist/solve_plan.hpp"
+#include "dist/tree_view.hpp"
+
+namespace sptrsv {
+
+namespace {
+
+/// Min-heap of SM slot free times for one GPU.
+class SlotHeap {
+ public:
+  SlotHeap(int slots, double t0) : heap_(static_cast<size_t>(slots), t0) {
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>());
+  }
+  /// Starts a task that became ready at `ready` and lasts `dur`; returns
+  /// its (start, end).
+  std::pair<double, double> schedule(double ready, double dur) {
+    const double start = std::max(ready, admit());
+    const double end = start + dur;
+    release(end);
+    return {start, end};
+  }
+  /// Takes the earliest-free slot out of the heap (caller must release()).
+  double admit() {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    const double t = heap_.back();
+    heap_.pop_back();
+    return t;
+  }
+  /// Returns a slot that becomes free at `end`.
+  void release(double end) {
+    heap_.push_back(end);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+  }
+
+ private:
+  std::vector<double> heap_;
+};
+
+/// One phase's task graph on one grid: a task is (gpu, supernode position)
+/// — the thread block handling that block column (L) or block row (U).
+struct PhaseTask {
+  int deps = 0;            ///< outstanding local GEMV contributions / y-arrival
+  double ready = 0.0;      ///< max contributor finish (valid once deps==0)
+  double diag_flops = 0;   ///< inverse-apply work (diagonal tasks only)
+  double gemv_flops = 0;   ///< panel update work on this GPU
+  bool is_diag = false;
+  bool exists = false;
+};
+
+/// Direction of a phase: L consumes `below` patterns, U mirrors them.
+enum class Phase { kL, kU };
+
+/// Simulates one grid's 2D solve phase; returns per-GPU finish times.
+/// `t0[g]` is GPU g's start clock. `gpu_base` is the world index of this
+/// grid's GPU 0 (node locality for puts).
+std::vector<double> run_phase(const Solve2dPlan& plan, Phase phase, Idx nrhs,
+                              const GpuExecModel& exec, const GpuFabric& fabric,
+                              int gpu_base, std::span<const double> t0,
+                              GpuScheduleMode mode) {
+  const auto& lu = plan.lu();
+  const auto& part = lu.sym.part;
+  const int px = plan.shape().px;
+  const Idx nc = plan.num_cols();
+
+  // Task table: tasks[g * nc + cp].
+  std::vector<PhaseTask> tasks(static_cast<size_t>(px) * static_cast<size_t>(nc));
+  auto task_at = [&](int g, Idx cp) -> PhaseTask& {
+    return tasks[static_cast<size_t>(g) * static_cast<size_t>(nc) +
+                 static_cast<size_t>(cp)];
+  };
+
+  // Build tasks. In both phases the "column owner set" is the broadcast
+  // tree of the solved supernode: l_bcast for L, u_bcast for U.
+  for (Idx cp = 0; cp < nc; ++cp) {
+    const Idx k = plan.cols()[static_cast<size_t>(cp)];
+    const Idx rp = plan.row_pos(k);
+    const double wk = part.width(k);
+    // With py == 1, tree member grid-ranks coincide with process rows.
+    const int diag_gpu = plan.shape().row_of(plan.shape().diag_owner(k));
+    // Dependencies of the diagonal task: one per pattern entry (each is a
+    // GEMV executed by another task on the same GPU).
+    PhaseTask& dt = task_at(diag_gpu, cp);
+    dt.exists = true;
+    dt.is_diag = true;
+    dt.diag_flops = 2.0 * wk * wk * nrhs;
+    dt.deps = static_cast<int>(phase == Phase::kL ? plan.row_pattern(rp).size()
+                                                  : plan.below(cp).size());
+    dt.ready = t0[static_cast<size_t>(diag_gpu)];
+    // GEMV work of every member GPU for this supernode's panel.
+    if (phase == Phase::kL) {
+      for (const Idx i : plan.below(cp)) {
+        const int g = plan.shape().owner_row(i);
+        PhaseTask& t = task_at(g, cp);
+        if (!t.exists) {
+          t.exists = true;
+          t.deps = (g == diag_gpu) ? t.deps : 1;  // off-diag waits for y(K)
+        }
+        t.gemv_flops += 2.0 * part.width(i) * wk * nrhs;
+      }
+    } else {
+      for (const Idx j : plan.row_pattern(rp)) {  // U(J,K) lives on row J
+        const int g = plan.shape().owner_row(j);
+        PhaseTask& t = task_at(g, cp);
+        if (!t.exists) {
+          t.exists = true;
+          t.deps = (g == diag_gpu) ? t.deps : 1;
+        }
+        t.gemv_flops += 2.0 * part.width(j) * wk * nrhs;
+      }
+    }
+  }
+
+  std::vector<SlotHeap> slots;
+  slots.reserve(static_cast<size_t>(px));
+  for (int g = 0; g < px; ++g) slots.emplace_back(exec.sms, t0[static_cast<size_t>(g)]);
+
+  std::vector<double> finish(static_cast<size_t>(px), 0.0);
+  for (int g = 0; g < px; ++g) finish[static_cast<size_t>(g)] = t0[static_cast<size_t>(g)];
+
+  if (mode == GpuScheduleMode::kResidentSpin) {
+    // Naive single-kernel model: every GPU launches its blocks in the
+    // phase's elimination order; a block occupies an SM slot from its
+    // admission until completion, spinning while its dependency (fmod or
+    // the y/x put) is outstanding. Processing the columns in launch order
+    // keeps every producer's completion computed before its consumers.
+    for (Idx step = 0; step < nc; ++step) {
+      const Idx cp = (phase == Phase::kL) ? step : nc - 1 - step;
+      const Idx k = plan.cols()[static_cast<size_t>(cp)];
+      const Idx rp = plan.row_pos(k);
+      const double wk = part.width(k);
+      const TreeView bcast = phase == Phase::kL ? plan.l_bcast(cp) : plan.u_bcast(rp);
+      const double bytes = wk * nrhs * sizeof(Real);
+
+      // BFS over the broadcast tree from the diagonal owner so a relay's
+      // forward time is known before its children are admitted.
+      std::vector<int> order{bcast.empty() ? 0 : bcast.root()};
+      std::vector<double> fwd(static_cast<size_t>(px), 0.0);
+      for (size_t q = 0; q < order.size(); ++q) {
+        bcast.for_each_child(order[q], [&](int child) { order.push_back(child); });
+      }
+      for (const int g : order) {
+        PhaseTask& t = task_at(g, cp);
+        if (!t.exists) continue;
+        const bool is_diag = t.is_diag;
+        const double arrival =
+            is_diag ? t.ready : std::max(t.ready, fwd[static_cast<size_t>(g)]);
+        const double dur = exec.task_time(t.diag_flops + t.gemv_flops, nrhs);
+        // The block holds its slot from admission: spin until `arrival`,
+        // compute, release only at completion.
+        const double admit = slots[static_cast<size_t>(g)].admit();
+        const double start = std::max(admit, arrival);
+        const double end = start + dur;
+        slots[static_cast<size_t>(g)].release(end);
+        finish[static_cast<size_t>(g)] = std::max(finish[static_cast<size_t>(g)], end);
+        const double send_at =
+            is_diag ? start + exec.task_time(t.diag_flops, nrhs) : start;
+        bcast.for_each_child(g, [&](int child) {
+          fwd[static_cast<size_t>(child)] =
+              send_at + fabric.put_time(gpu_base + g, gpu_base + child, bytes);
+        });
+        // Feed my local rows'/columns' diagonal readiness.
+        if (phase == Phase::kL) {
+          for (const Idx i : plan.below(cp)) {
+            if (plan.shape().owner_row(i) != g) continue;
+            PhaseTask& t2 = task_at(g, plan.col_pos(i));
+            t2.ready = std::max(t2.ready, end);
+          }
+        } else {
+          for (const Idx j : plan.row_pattern(rp)) {
+            if (plan.shape().owner_row(j) != g) continue;
+            PhaseTask& t2 = task_at(g, plan.col_pos(j));
+            t2.ready = std::max(t2.ready, end);
+          }
+        }
+      }
+    }
+    return finish;
+  }
+
+  // Event queue over ready tasks (the two-kernel design: a block only
+  // occupies a slot while it has work).
+  using QEntry = std::pair<double, std::pair<int, Idx>>;  // (ready, (gpu, cp))
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> queue;
+
+  for (Idx cp = 0; cp < nc; ++cp) {
+    const Idx k = plan.cols()[static_cast<size_t>(cp)];
+    const int diag_gpu = plan.shape().row_of(plan.shape().diag_owner(k));
+    PhaseTask& dt = task_at(diag_gpu, cp);
+    if (dt.exists && dt.deps == 0) queue.push({dt.ready, {diag_gpu, cp}});
+  }
+
+  auto on_contribution = [&](int g, Idx cp, double t) {
+    PhaseTask& t2 = task_at(g, cp);
+    t2.ready = std::max(t2.ready, t);
+    if (--t2.deps == 0) queue.push({t2.ready, {g, cp}});
+  };
+
+  while (!queue.empty()) {
+    const auto [ready, id] = queue.top();
+    queue.pop();
+    const auto [g, cp] = id;
+    PhaseTask& t = task_at(g, cp);
+    const Idx k = plan.cols()[static_cast<size_t>(cp)];
+    const Idx rp = plan.row_pos(k);
+    const double wk = part.width(k);
+    const TreeView bcast = phase == Phase::kL ? plan.l_bcast(cp) : plan.u_bcast(rp);
+    const double bytes = wk * nrhs * sizeof(Real);
+
+    const double dur = exec.task_time(t.diag_flops + t.gemv_flops, nrhs);
+    const auto [start, end] = slots[static_cast<size_t>(g)].schedule(ready, dur);
+    finish[static_cast<size_t>(g)] = std::max(finish[static_cast<size_t>(g)], end);
+
+    // Forward the solution down the broadcast tree. The diagonal task has
+    // the value only after its inverse-apply; a relay forwards as soon as
+    // its thread block runs (Algorithm 5 line 13).
+    const double send_at = t.is_diag ? start + exec.task_time(t.diag_flops, nrhs) : start;
+    bcast.for_each_child(g, [&](int child) {
+      const double arrival =
+          send_at + fabric.put_time(gpu_base + g, gpu_base + child, bytes);
+      on_contribution(child, cp, arrival);
+    });
+
+    // The GEMVs completed here feed the diagonal tasks of my local rows.
+    if (phase == Phase::kL) {
+      for (const Idx i : plan.below(cp)) {
+        if (plan.shape().owner_row(i) != g) continue;
+        on_contribution(g, plan.col_pos(i), end);
+      }
+    } else {
+      for (const Idx j : plan.row_pattern(rp)) {
+        if (plan.shape().owner_row(j) != g) continue;
+        on_contribution(g, plan.col_pos(j), end);
+      }
+    }
+  }
+  return finish;
+}
+
+}  // namespace
+
+GpuSolveTimes simulate_solve_3d_gpu(const SupernodalLU& lu, const NdTree& tree,
+                                    const GpuSolveConfig& cfg,
+                                    const MachineModel& machine) {
+  const auto& shape = cfg.shape;
+  if (shape.py != 1) {
+    throw std::invalid_argument("simulate_solve_3d_gpu: py must be 1 (paper §4.2)");
+  }
+  if (shape.pz <= 0 || (shape.pz & (shape.pz - 1)) != 0) {
+    throw std::invalid_argument("simulate_solve_3d_gpu: pz must be a power of two");
+  }
+  if (cfg.backend == GpuBackend::kGpu && !machine.shmem_subcomm_support &&
+      shape.px > 1) {
+    throw std::invalid_argument(
+        "simulate_solve_3d_gpu: ROC-SHMEM has no subcommunicators; px must be 1 on " +
+        machine.name);
+  }
+  int zlevels = 0;
+  while ((1 << zlevels) < shape.pz) ++zlevels;
+  if (zlevels > tree.levels()) {
+    throw std::invalid_argument("simulate_solve_3d_gpu: pz exceeds tracked tree");
+  }
+  const NdTree coarse = coarsen_nd_tree(tree, zlevels);
+
+  // Execution parameters per backend. The CPU backend runs the identical
+  // task graph on one sequential "slot" per rank at the core's flop rate —
+  // the reference curves of Fig 9-10.
+  GpuExecModel exec;
+  GpuFabric fabric;
+  if (cfg.backend == GpuBackend::kGpu) {
+    exec = GpuExecModel::from_machine(machine);
+    fabric = GpuFabric::from_machine(machine);
+  } else {
+    exec.sms = 1;
+    exec.sm_flop_rate = machine.cpu_flop_rate;
+    exec.task_overhead = machine.mpi_overhead;
+    exec.max_gemm_boost = 4.0;  // core GEMM approaches peak with many RHSs
+    fabric.latency_intra = machine.net.latency;
+    fabric.latency_inter = machine.net.latency;
+    fabric.bw_intranode = machine.net.bandwidth;
+    fabric.bw_internode = machine.net.bandwidth;
+    fabric.gpus_per_node = 1 << 30;  // locality is irrelevant for MPI sends
+  }
+
+  const Grid2dShape grid2d{shape.px, 1};
+  std::vector<Solve2dPlan> plans;
+  plans.reserve(static_cast<size_t>(shape.pz));
+  for (int z = 0; z < shape.pz; ++z) {
+    plans.push_back(make_grid_plan(lu, coarse, z, grid2d, cfg.tree));
+  }
+
+  GpuSolveTimes out;
+  const int world = shape.px * shape.pz;
+  out.l_finish.assign(static_cast<size_t>(world), 0.0);
+  out.u_finish.assign(static_cast<size_t>(world), 0.0);
+
+  // ---- L phase: independent per grid. ----
+  std::vector<std::vector<double>> clock(static_cast<size_t>(shape.pz));
+  for (int z = 0; z < shape.pz; ++z) {
+    const std::vector<double> t0(static_cast<size_t>(shape.px), 0.0);
+    clock[static_cast<size_t>(z)] = run_phase(plans[static_cast<size_t>(z)], Phase::kL,
+                                              cfg.nrhs, exec, fabric,
+                                              /*gpu_base=*/z * shape.px, t0,
+                                              cfg.schedule);
+    for (int g = 0; g < shape.px; ++g) {
+      out.l_finish[static_cast<size_t>(z * shape.px + g)] =
+          clock[static_cast<size_t>(z)][static_cast<size_t>(g)];
+    }
+  }
+  out.l_solve = *std::max_element(out.l_finish.begin(), out.l_finish.end());
+
+  // ---- Sparse allreduce (Algorithm 2) over MPI, per GPU line. ----
+  // Pairwise exchange cost per level; bytes are the shared ancestors'
+  // diag-owned pieces of the line's GPU.
+  auto level_bytes = [&](int g, int l) {
+    double bytes = 0;
+    for (Idx node = 0; node < coarse.num_nodes(); ++node) {
+      if (coarse.node(node).depth > coarse.levels() - l - 1) continue;
+      const auto [lo, hi] = node_supernode_range(lu.sym, coarse, node);
+      for (Idx k = lo; k < hi; ++k) {
+        if (grid2d.owner_row(k) == g) {
+          bytes += static_cast<double>(lu.sym.part.width(k)) * cfg.nrhs * sizeof(Real);
+        }
+      }
+    }
+    return bytes;
+  };
+  for (int g = 0; g < shape.px; ++g) {
+    for (int l = 0; l < zlevels; ++l) {  // reduce toward the lower grid
+      const double cost = 2 * machine.mpi_overhead + machine.net.latency +
+                          level_bytes(g, l) / machine.net.bandwidth;
+      for (int z = 0; z + (1 << l) < shape.pz; z += 1 << (l + 1)) {
+        const int hi = z + (1 << l);
+        auto& lo_c = clock[static_cast<size_t>(z)][static_cast<size_t>(g)];
+        const double hi_c = clock[static_cast<size_t>(hi)][static_cast<size_t>(g)];
+        lo_c = std::max(lo_c, hi_c + cost);
+      }
+    }
+    for (int l = zlevels - 1; l >= 0; --l) {  // broadcast back
+      const double cost = 2 * machine.mpi_overhead + machine.net.latency +
+                          level_bytes(g, l) / machine.net.bandwidth;
+      for (int z = 0; z + (1 << l) < shape.pz; z += 1 << (l + 1)) {
+        const int hi = z + (1 << l);
+        auto& hi_c = clock[static_cast<size_t>(hi)][static_cast<size_t>(g)];
+        const double lo_c = clock[static_cast<size_t>(z)][static_cast<size_t>(g)];
+        hi_c = std::max(hi_c, lo_c + cost);
+      }
+    }
+  }
+  double after_z = 0;
+  for (const auto& grid_clock : clock) {
+    for (const double c : grid_clock) after_z = std::max(after_z, c);
+  }
+  out.z_comm = after_z - out.l_solve;
+
+  // ---- U phase: independent per grid again, starting at the post-
+  // allreduce clocks. ----
+  for (int z = 0; z < shape.pz; ++z) {
+    const auto fin = run_phase(plans[static_cast<size_t>(z)], Phase::kU, cfg.nrhs, exec,
+                               fabric, z * shape.px, clock[static_cast<size_t>(z)],
+                               cfg.schedule);
+    for (int g = 0; g < shape.px; ++g) {
+      out.u_finish[static_cast<size_t>(z * shape.px + g)] =
+          fin[static_cast<size_t>(g)];
+    }
+  }
+  out.total = *std::max_element(out.u_finish.begin(), out.u_finish.end());
+  out.u_solve = out.total - after_z;
+  return out;
+}
+
+}  // namespace sptrsv

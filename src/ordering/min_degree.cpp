@@ -1,0 +1,52 @@
+#include "ordering/min_degree.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace sptrsv {
+
+std::vector<Idx> min_degree_ordering(const Graph& g) {
+  const Idx n = g.num_vertices();
+  // Elimination graph as sorted neighbour sets (explicit fill).
+  std::vector<std::set<Idx>> adj(static_cast<size_t>(n));
+  for (Idx v = 0; v < n; ++v) {
+    for (const Idx u : g.neighbors(v)) {
+      if (u != v) adj[static_cast<size_t>(v)].insert(u);
+    }
+  }
+
+  // Degree buckets: set of (degree, vertex) gives O(log n) min extraction
+  // with deterministic tie-breaking on vertex id.
+  std::set<std::pair<Idx, Idx>> queue;
+  for (Idx v = 0; v < n; ++v) {
+    queue.insert({static_cast<Idx>(adj[static_cast<size_t>(v)].size()), v});
+  }
+
+  std::vector<Idx> perm;
+  perm.reserve(static_cast<size_t>(n));
+  std::vector<bool> eliminated(static_cast<size_t>(n), false);
+  while (!queue.empty()) {
+    const auto [deg, v] = *queue.begin();
+    queue.erase(queue.begin());
+    (void)deg;
+    perm.push_back(v);
+    eliminated[static_cast<size_t>(v)] = true;
+
+    // Clique the neighbourhood: every surviving pair becomes adjacent.
+    auto& nv = adj[static_cast<size_t>(v)];
+    const std::vector<Idx> nbrs(nv.begin(), nv.end());
+    for (const Idx u : nbrs) {
+      auto& nu = adj[static_cast<size_t>(u)];
+      queue.erase({static_cast<Idx>(nu.size()), u});
+      nu.erase(v);
+      for (const Idx w : nbrs) {
+        if (w != u) nu.insert(w);
+      }
+      queue.insert({static_cast<Idx>(nu.size()), u});
+    }
+    nv.clear();
+  }
+  return perm;
+}
+
+}  // namespace sptrsv

@@ -1,0 +1,420 @@
+#include "runtime/cluster.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace sptrsv {
+namespace detail {
+
+namespace {
+/// Tree depth used by the collective cost model.
+double log2_ceil(int p) { return p <= 1 ? 0.0 : std::ceil(std::log2(static_cast<double>(p))); }
+}  // namespace
+
+/// A message annotated with the communicator context it was sent on.
+struct Envelope {
+  std::uint64_t ctx = 0;
+  Message msg;
+};
+
+/// Per-rank mailbox: all communicators deliver here; receives filter by
+/// (ctx, src, tag).
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Envelope> q;
+};
+
+/// Per-rank runtime context (virtual clock + accounting + mailbox).
+struct RankCtx {
+  Mailbox mailbox;
+  double vt = 0.0;
+  double category[kNumTimeCategories] = {0, 0, 0, 0};
+  std::int64_t messages[kNumTimeCategories] = {0, 0, 0, 0};
+  std::int64_t bytes[kNumTimeCategories] = {0, 0, 0, 0};
+
+  void advance(double seconds, TimeCategory cat) {
+    vt += seconds;
+    category[static_cast<int>(cat)] += seconds;
+  }
+};
+
+/// Whole-cluster shared state.
+class ClusterState {
+ public:
+  ClusterState(int nranks, MachineModel machine)
+      : machine_(std::move(machine)), ranks_(static_cast<size_t>(nranks)) {}
+
+  const MachineModel& machine() const { return machine_; }
+  RankCtx& rank(int global) { return ranks_[static_cast<size_t>(global)]; }
+  int world_size() const { return static_cast<int>(ranks_.size()); }
+  std::uint64_t next_ctx() { return ++ctx_counter_; }
+
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// Called when a rank dies with an exception: wakes every blocked wait
+  /// so the remaining ranks can unwind instead of deadlocking at join.
+  void abort();
+
+  void register_group(const std::shared_ptr<CommGroup>& g) {
+    std::lock_guard<std::mutex> lk(groups_mu_);
+    groups_.push_back(g);
+  }
+
+ private:
+  MachineModel machine_;
+  std::deque<RankCtx> ranks_;  // deque: RankCtx is not movable (mutex)
+  std::uint64_t ctx_counter_ = 0;  // pre-incremented under group mutexes only
+  std::atomic<bool> aborted_{false};
+  std::mutex groups_mu_;
+  std::vector<std::weak_ptr<CommGroup>> groups_;
+};
+
+/// Thrown into ranks blocked on a dead cluster.
+struct ClusterAborted : std::runtime_error {
+  ClusterAborted() : std::runtime_error("cluster aborted: another rank failed") {}
+};
+
+/// One communicator: a context id plus the member global ranks. Also hosts
+/// the generation-numbered collective slots (barrier / allreduce / split).
+class CommGroup : public std::enable_shared_from_this<CommGroup> {
+ public:
+  CommGroup(ClusterState* cluster, std::uint64_t ctx, std::vector<int> global_ranks)
+      : cluster_(cluster), ctx_(ctx), globals_(std::move(global_ranks)) {}
+
+  ClusterState* cluster() const { return cluster_; }
+  std::uint64_t ctx() const { return ctx_; }
+  int size() const { return static_cast<int>(globals_.size()); }
+  int global_rank(int r) const { return globals_[static_cast<size_t>(r)]; }
+
+  /// State of one in-flight collective operation.
+  struct CollSlot {
+    int arrived = 0;
+    int consumed = 0;
+    bool ready = false;
+    double max_vt = 0.0;
+    std::vector<Real> reduce;                       // allreduce accumulator
+    std::vector<std::pair<int, int>> color_key;     // split inputs (by rank)
+    std::vector<std::shared_ptr<CommGroup>> split_groups;  // split outputs
+    std::vector<int> split_rank;                    // split outputs
+  };
+
+  /// Runs one collective: `deposit` stores this rank's contribution into
+  /// the slot; the last arriver runs `finalize`; everyone then reads via
+  /// `extract` after `ready`. All callbacks run under the group mutex.
+  template <class Deposit, class Finalize, class Extract>
+  auto collective(std::int64_t gen, Deposit deposit, Finalize finalize,
+                  Extract extract) {
+    std::unique_lock<std::mutex> lk(mu_);
+    CollSlot& slot = slots_[gen];
+    deposit(slot);
+    if (++slot.arrived == size()) {
+      finalize(slot);
+      slot.ready = true;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk, [&] { return slot.ready || cluster_->aborted(); });
+      if (!slot.ready) throw ClusterAborted();
+    }
+    auto result = extract(slot);
+    if (++slot.consumed == size()) slots_.erase(gen);
+    return result;
+  }
+
+  void wake_all() {
+    std::lock_guard<std::mutex> lk(mu_);  // lock so no waiter misses the flag
+    cv_.notify_all();
+  }
+
+ private:
+  ClusterState* cluster_;
+  std::uint64_t ctx_;
+  std::vector<int> globals_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::int64_t, CollSlot> slots_;
+};
+
+void ClusterState::abort() {
+  aborted_.store(true, std::memory_order_release);
+  for (auto& r : ranks_) {
+    std::lock_guard<std::mutex> lk(r.mailbox.mu);
+    r.mailbox.cv.notify_all();
+  }
+  std::lock_guard<std::mutex> lk(groups_mu_);
+  for (auto& wg : groups_) {
+    if (auto g = wg.lock()) g->wake_all();
+  }
+}
+
+}  // namespace detail
+
+int Comm::size() const { return group_->size(); }
+
+const MachineModel& Comm::machine() const { return group_->cluster()->machine(); }
+
+double Comm::vtime() const { return ctx_->vt; }
+
+void Comm::advance(double seconds, TimeCategory cat) { ctx_->advance(seconds, cat); }
+
+void Comm::compute(double flops) {
+  ctx_->advance(flops / machine().cpu_flop_rate, TimeCategory::kFp);
+}
+
+void Comm::reset_clock() {
+  ctx_->vt = 0.0;
+  for (double& c : ctx_->category) c = 0.0;
+  for (auto& m : ctx_->messages) m = 0;
+  for (auto& b : ctx_->bytes) b = 0;
+}
+
+double Comm::category_time(TimeCategory cat) const {
+  return ctx_->category[static_cast<int>(cat)];
+}
+
+std::int64_t Comm::messages_sent(TimeCategory cat) const {
+  return ctx_->messages[static_cast<int>(cat)];
+}
+
+std::int64_t Comm::bytes_sent(TimeCategory cat) const {
+  return ctx_->bytes[static_cast<int>(cat)];
+}
+
+void Comm::send(int dst, int tag, std::vector<Real> data, TimeCategory cat) {
+  send_link(dst, tag, std::move(data), machine().net, machine().mpi_overhead, cat);
+}
+
+void Comm::send_link(int dst, int tag, std::vector<Real> data, const LinkParams& link,
+                     double overhead, TimeCategory cat) {
+  if (dst < 0 || dst >= size()) throw std::out_of_range("Comm::send: bad destination");
+  ctx_->advance(overhead, cat);
+  ++ctx_->messages[static_cast<int>(cat)];
+  ctx_->bytes[static_cast<int>(cat)] +=
+      static_cast<std::int64_t>(data.size() * sizeof(Real));
+  const double bytes = static_cast<double>(data.size()) * sizeof(Real);
+  detail::Envelope env;
+  env.ctx = group_->ctx();
+  env.msg.src = rank_;
+  env.msg.tag = tag;
+  env.msg.data = std::move(data);
+  env.msg.arrival = ctx_->vt + link.latency + bytes / link.bandwidth;
+  detail::Mailbox& box = group_->cluster()->rank(group_->global_rank(dst)).mailbox;
+  {
+    std::lock_guard<std::mutex> lk(box.mu);
+    box.q.push_back(std::move(env));
+  }
+  box.cv.notify_all();
+}
+
+Message Comm::recv(int src, int tag, TimeCategory cat) {
+  if (tag == kAnyTag) return recv_range(src, 0, 0, cat);
+  return recv_range(src, tag, tag + 1, cat);
+}
+
+Message Comm::recv_range(int src, int tag_lo, int tag_hi, TimeCategory cat) {
+  const bool any_tag = (tag_lo >= tag_hi);
+  detail::Mailbox& box = ctx_->mailbox;
+  std::unique_lock<std::mutex> lk(box.mu);
+  auto matches = [&](const detail::Envelope& e) {
+    return e.ctx == group_->ctx() && (src == kAnySource || e.msg.src == src) &&
+           (any_tag || (e.msg.tag >= tag_lo && e.msg.tag < tag_hi));
+  };
+  // Among queued matches take the earliest virtual arrival (per-source
+  // arrivals are monotone, so same-source FIFO is preserved).
+  std::deque<detail::Envelope>::iterator best;
+  box.cv.wait(lk, [&] {
+    best = box.q.end();
+    for (auto it = box.q.begin(); it != box.q.end(); ++it) {
+      if (matches(*it) && (best == box.q.end() || it->msg.arrival < best->msg.arrival)) {
+        best = it;
+      }
+    }
+    return best != box.q.end() || group_->cluster()->aborted();
+  });
+  if (best == box.q.end()) throw detail::ClusterAborted();
+  Message msg = std::move(best->msg);
+  box.q.erase(best);
+  lk.unlock();
+  const double t0 = ctx_->vt;
+  ctx_->advance(std::max(0.0, msg.arrival - t0) + machine().mpi_overhead, cat);
+  return msg;
+}
+
+bool Comm::probe(int src, int tag) {
+  detail::Mailbox& box = ctx_->mailbox;
+  std::lock_guard<std::mutex> lk(box.mu);
+  for (const auto& e : box.q) {
+    if (e.ctx == group_->ctx() && (src == kAnySource || e.msg.src == src) &&
+        (tag == kAnyTag || e.msg.tag == tag)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Comm::barrier(TimeCategory cat) {
+  const double cost =
+      detail::log2_ceil(size()) * 2.0 * (machine().net.latency + machine().mpi_overhead);
+  const double my_vt = ctx_->vt;
+  const double sync_vt = group_->collective(
+      coll_gen_++,
+      [&](auto& slot) { slot.max_vt = std::max(slot.max_vt, my_vt); },
+      [](auto&) {}, [](auto& slot) { return slot.max_vt; });
+  ctx_->advance(std::max(0.0, sync_vt - my_vt) + cost, cat);
+}
+
+std::vector<Real> Comm::allreduce_sum(std::span<const Real> v, TimeCategory cat) {
+  const double bytes = static_cast<double>(v.size()) * sizeof(Real);
+  const double cost = detail::log2_ceil(size()) * 2.0 *
+                      (machine().net.latency + machine().mpi_overhead +
+                       bytes / machine().net.bandwidth);
+  const double my_vt = ctx_->vt;
+  auto result = group_->collective(
+      coll_gen_++,
+      [&](auto& slot) {
+        slot.max_vt = std::max(slot.max_vt, my_vt);
+        if (slot.reduce.empty()) slot.reduce.assign(v.size(), 0.0);
+        if (slot.reduce.size() != v.size()) {
+          throw std::invalid_argument("allreduce_sum: mismatched lengths");
+        }
+        for (size_t i = 0; i < v.size(); ++i) slot.reduce[i] += v[i];
+      },
+      [](auto&) {},
+      [](auto& slot) {
+        return std::pair<std::vector<Real>, double>(slot.reduce, slot.max_vt);
+      });
+  ctx_->advance(std::max(0.0, result.second - ctx_->vt) + cost, cat);
+  return std::move(result.first);
+}
+
+double Comm::allreduce_max(double v) {
+  auto result = group_->collective(
+      coll_gen_++, [&](auto& slot) { slot.max_vt = std::max(slot.max_vt, v); },
+      [](auto&) {}, [](auto& slot) { return slot.max_vt; });
+  return result;
+}
+
+Comm Comm::split(int color, int key) {
+  auto group = group_;  // keep alive across the collective
+  auto result = group_->collective(
+      coll_gen_++,
+      [&](auto& slot) {
+        if (slot.color_key.empty()) {
+          slot.color_key.assign(static_cast<size_t>(size()), {0, 0});
+          slot.split_groups.resize(static_cast<size_t>(size()));
+          slot.split_rank.assign(static_cast<size_t>(size()), 0);
+        }
+        slot.color_key[static_cast<size_t>(rank_)] = {color, key};
+      },
+      [&](auto& slot) {
+        // Build one CommGroup per color; members ordered by (key, rank).
+        std::map<int, std::vector<int>> members;  // color -> old ranks
+        for (int r = 0; r < size(); ++r) {
+          members[slot.color_key[static_cast<size_t>(r)].first].push_back(r);
+        }
+        for (auto& [c, ranks] : members) {
+          std::stable_sort(ranks.begin(), ranks.end(), [&](int a, int b) {
+            return slot.color_key[static_cast<size_t>(a)].second <
+                   slot.color_key[static_cast<size_t>(b)].second;
+          });
+          std::vector<int> globals;
+          globals.reserve(ranks.size());
+          for (const int r : ranks) globals.push_back(group->global_rank(r));
+          auto g = std::make_shared<detail::CommGroup>(
+              group->cluster(), group->cluster()->next_ctx(), std::move(globals));
+          group->cluster()->register_group(g);
+          for (size_t i = 0; i < ranks.size(); ++i) {
+            slot.split_groups[static_cast<size_t>(ranks[i])] = g;
+            slot.split_rank[static_cast<size_t>(ranks[i])] = static_cast<int>(i);
+          }
+        }
+      },
+      [&](auto& slot) {
+        return std::pair<std::shared_ptr<detail::CommGroup>, int>(
+            slot.split_groups[static_cast<size_t>(rank_)],
+            slot.split_rank[static_cast<size_t>(rank_)]);
+      });
+  return Comm(std::move(result.first), result.second, ctx_);
+}
+
+double Cluster::Result::makespan() const {
+  double m = 0;
+  for (const auto& r : ranks) m = std::max(m, r.vtime);
+  return m;
+}
+
+double Cluster::Result::mean_category(TimeCategory cat) const {
+  double s = 0;
+  for (const auto& r : ranks) s += r.category[static_cast<int>(cat)];
+  return ranks.empty() ? 0.0 : s / static_cast<double>(ranks.size());
+}
+
+double Cluster::Result::max_category(TimeCategory cat) const {
+  double m = 0;
+  for (const auto& r : ranks) m = std::max(m, r.category[static_cast<int>(cat)]);
+  return m;
+}
+
+double Cluster::Result::min_category(TimeCategory cat) const {
+  if (ranks.empty()) return 0.0;
+  double m = ranks.front().category[static_cast<int>(cat)];
+  for (const auto& r : ranks) m = std::min(m, r.category[static_cast<int>(cat)]);
+  return m;
+}
+
+Cluster::Result Cluster::run(int nranks, const MachineModel& machine,
+                             const std::function<void(Comm&)>& rank_fn) {
+  if (nranks <= 0) throw std::invalid_argument("Cluster::run: nranks must be positive");
+  detail::ClusterState state(nranks, machine);
+  std::vector<int> globals(static_cast<size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) globals[static_cast<size_t>(r)] = r;
+  auto world =
+      std::make_shared<detail::CommGroup>(&state, state.next_ctx(), std::move(globals));
+  state.register_group(world);
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(world, r, &state.rank(r));
+      try {
+        rank_fn(comm);
+      } catch (const detail::ClusterAborted&) {
+        // Secondary casualty of another rank's failure; the original
+        // exception is already recorded.
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        state.abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  Result res;
+  res.ranks.resize(static_cast<size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    res.ranks[static_cast<size_t>(r)].vtime = state.rank(r).vt;
+    for (int c = 0; c < kNumTimeCategories; ++c) {
+      res.ranks[static_cast<size_t>(r)].category[c] = state.rank(r).category[c];
+      res.ranks[static_cast<size_t>(r)].messages[c] = state.rank(r).messages[c];
+      res.ranks[static_cast<size_t>(r)].bytes[c] = state.rank(r).bytes[c];
+    }
+  }
+  return res;
+}
+
+}  // namespace sptrsv

@@ -1,0 +1,166 @@
+#pragma once
+/// \file cluster.hpp
+/// \brief In-process message-passing runtime with virtual LogGP clocks.
+///
+/// This substitutes for MPI + the physical cluster (see DESIGN.md §1).
+/// Every rank is an OS thread; `Comm` exposes MPI-shaped primitives
+/// (send / recv with wildcards / barrier / allreduce / split) with real
+/// message passing through per-rank mailboxes, so distributed algorithms
+/// are written exactly as they would be against MPI and their *functional*
+/// behaviour (message counts, DAG traversal, data movement) is real.
+///
+/// Performance is modeled, not measured: each rank carries a virtual clock.
+/// Compute advances it by flops/rate; a send costs the sender its software
+/// overhead and stamps the message with `sender_vt + latency + bytes/BW`;
+/// a receive advances the receiver to `max(own_vt, arrival)`. The reported
+/// solve time of a run is the maximum clock over ranks (modeled makespan).
+/// When several messages are queued, a wildcard receive takes the earliest
+/// virtual arrival; because OS scheduling can deliver messages out of
+/// virtual order, modeled makespans carry a small pessimistic jitter —
+/// acceptable for the figure-level comparisons this library reproduces.
+///
+/// Time is attributed to the paper's breakdown categories (FP operation,
+/// XY/intra-grid communication, Z/inter-grid communication; Fig 5-6).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "runtime/machine.hpp"
+#include "sparse/types.hpp"
+
+namespace sptrsv {
+
+/// Wildcard selectors for Comm::recv (MPI_ANY_SOURCE / MPI_ANY_TAG).
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Paper Fig 5-6 time-breakdown buckets.
+enum class TimeCategory : int {
+  kFp = 0,      ///< floating-point operations
+  kXyComm = 1,  ///< intra-grid (2D solve) communication
+  kZComm = 2,   ///< inter-grid (between 2D grids) communication
+  kOther = 3,   ///< setup, idle at final barrier, uncategorized
+};
+inline constexpr int kNumTimeCategories = 4;
+
+/// A received message.
+struct Message {
+  int src = 0;             ///< sender's rank within the communicator
+  int tag = 0;
+  std::vector<Real> data;  ///< payload
+  double arrival = 0.0;    ///< virtual arrival time at the receiver
+};
+
+namespace detail {
+class ClusterState;
+class CommGroup;
+struct RankCtx;
+}  // namespace detail
+
+/// Per-rank communicator handle (value type; cheap to copy). Created by
+/// `Cluster::run` for the world and by `split` for subgrids.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+  const MachineModel& machine() const;
+
+  /// Buffered, non-blocking-semantics send (like MPI_Isend with an
+  /// implicit buffer): charges the sender its software overhead and stamps
+  /// the arrival using the machine's default network link.
+  void send(int dst, int tag, std::vector<Real> data,
+            TimeCategory cat = TimeCategory::kOther);
+
+  /// Send with explicit link parameters and software overhead — the GPU
+  /// layer uses this to model NVSHMEM puts over NVLink vs inter-node links.
+  void send_link(int dst, int tag, std::vector<Real> data, const LinkParams& link,
+                 double overhead, TimeCategory cat);
+
+  /// Blocking receive; `src`/`tag` may be kAnySource/kAnyTag. Advances the
+  /// virtual clock to max(own, arrival) and attributes the wait to `cat`.
+  Message recv(int src, int tag, TimeCategory cat = TimeCategory::kOther);
+
+  /// Blocking receive matching any tag in [tag_lo, tag_hi) — used by
+  /// message-driven solves so a neighbouring solve's traffic (different tag
+  /// window) on the same communicator stays queued.
+  Message recv_range(int src, int tag_lo, int tag_hi,
+                     TimeCategory cat = TimeCategory::kOther);
+
+  /// Non-blocking: true if a matching message is queued.
+  bool probe(int src, int tag);
+
+  /// Collective barrier; clocks synchronize to the group maximum plus a
+  /// logarithmic tree cost.
+  void barrier(TimeCategory cat = TimeCategory::kOther);
+
+  /// Collective elementwise sum; models recursive-doubling cost.
+  std::vector<Real> allreduce_sum(std::span<const Real> v, TimeCategory cat);
+
+  /// Collective max of a scalar (convenience for makespan / stats).
+  double allreduce_max(double v);
+
+  /// Splits into subcommunicators by color, ranked by (key, old rank).
+  /// Setup cost is not charged (grids/trees are precomputed in the paper).
+  Comm split(int color, int key);
+
+  // --- virtual clock ---
+  double vtime() const;
+  void advance(double seconds, TimeCategory cat);
+  /// Advances by flops / machine CPU rate, attributed to FP.
+  void compute(double flops);
+  /// Zeroes this rank's clock, category accumulators and message counters
+  /// (call after a barrier so ranks restart together; setup is untimed
+  /// this way).
+  void reset_clock();
+  double category_time(TimeCategory cat) const;
+
+  // --- message accounting (validates the paper's message-count claims) ---
+  /// Point-to-point messages this rank sent in `cat` since reset_clock.
+  std::int64_t messages_sent(TimeCategory cat) const;
+  /// Payload bytes this rank sent in `cat` since reset_clock.
+  std::int64_t bytes_sent(TimeCategory cat) const;
+
+ private:
+  friend class Cluster;
+  friend class detail::CommGroup;
+  Comm(std::shared_ptr<detail::CommGroup> group, int rank, detail::RankCtx* ctx)
+      : group_(std::move(group)), rank_(rank), ctx_(ctx) {}
+
+  std::shared_ptr<detail::CommGroup> group_;
+  int rank_ = 0;
+  detail::RankCtx* ctx_ = nullptr;  // owned by ClusterState, outlives Comm
+  std::int64_t coll_gen_ = 0;       // this rank's collective sequence number
+};
+
+/// Per-rank outcome of a cluster run.
+struct RankStats {
+  double vtime = 0.0;
+  double category[kNumTimeCategories] = {0, 0, 0, 0};
+  std::int64_t messages[kNumTimeCategories] = {0, 0, 0, 0};
+  std::int64_t bytes[kNumTimeCategories] = {0, 0, 0, 0};
+};
+
+/// Spawns `nranks` rank threads, runs `rank_fn` on each, joins, and returns
+/// the virtual-clock statistics. Exceptions thrown by any rank are
+/// rethrown (first one wins) after all threads have been joined.
+class Cluster {
+ public:
+  struct Result {
+    std::vector<RankStats> ranks;
+    /// Modeled solve makespan: max vtime over ranks.
+    double makespan() const;
+    /// Mean over ranks of one category (paper plots rank-averaged bars).
+    double mean_category(TimeCategory cat) const;
+    double max_category(TimeCategory cat) const;
+    double min_category(TimeCategory cat) const;
+  };
+
+  /// Runs `rank_fn(comm)` on every rank of a world of size `nranks`.
+  static Result run(int nranks, const MachineModel& machine,
+                    const std::function<void(Comm&)>& rank_fn);
+};
+
+}  // namespace sptrsv

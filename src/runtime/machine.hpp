@@ -1,0 +1,68 @@
+#pragma once
+/// \file machine.hpp
+/// \brief Performance-model parameter sets for the paper's three machines.
+///
+/// The reproduction runs on one box, so wall-clock time at 2048 ranks is
+/// meaningless; instead every rank carries a virtual clock advanced by a
+/// LogGP-style cost model parameterized per machine. Parameters follow the
+/// hardware description in §4 / Appendix A of the paper (Cray Aries and
+/// Slingshot latencies/bandwidths, A100/MI250X rates, 4 GPUs per node,
+/// NVLink 300 GB/s vs inter-node 12.5 GB/s per direction per GPU). Absolute
+/// accuracy is not the goal — regime boundaries (latency-bound DAG chains,
+/// the intra/inter-node GPU bandwidth cliff) are.
+
+#include <string>
+
+namespace sptrsv {
+
+/// One point-to-point link: first-byte latency plus stream bandwidth.
+struct LinkParams {
+  double latency = 1e-6;       ///< seconds to first byte
+  double bandwidth = 10.0e9;   ///< bytes/second
+};
+
+/// Machine performance model used by the virtual clock.
+struct MachineModel {
+  std::string name;
+
+  // --- CPU side ---
+  double cpu_flop_rate = 5.0e9;   ///< sustained flops/s per rank (one core)
+  double mpi_overhead = 0.5e-6;   ///< CPU send/recv software overhead (s)
+  LinkParams net;                 ///< inter-rank MPI network link
+
+  // --- GPU side ---
+  double gpu_flop_rate = 5.0e11;  ///< sustained flops/s per GPU (solve kernels)
+  /// Concurrency slots of the execution model. Solve kernels are
+  /// memory-bound, and a GPU's bandwidth saturates with O(10) resident
+  /// blocks, so this is the bandwidth-slot count (aggregate = gpu_flop_rate
+  /// when all slots are busy; a lone thread block gets 1/slots of it), not
+  /// the physical SM count.
+  int gpu_sms = 16;
+  /// Saturation cap of the multi-RHS GEMM-efficiency boost for GPU solve
+  /// kernels (see GpuExecModel::gemm_boost). CPU cores cap at 4.
+  double gpu_gemm_boost_cap = 4.0;
+  double gpu_task_overhead = 2e-6;///< per block-column scheduling/spin cost (s)
+  double nvshmem_latency = 1e-6;  ///< one-sided put latency, same node (s)
+  /// One-sided put latency crossing nodes (NIC + network); several times
+  /// the NVLink latency — with the bandwidth cliff below, this is what
+  /// stops the 2D GPU algorithm at one node (paper Fig 11).
+  double nvshmem_latency_internode = 6e-6;
+  double bw_gpu_intranode = 300e9;///< NVLink-class bandwidth (bytes/s)
+  double bw_gpu_internode = 12.5e9;///< Slingshot per-GPU bandwidth (bytes/s)
+  int gpus_per_node = 4;
+  /// ROC-SHMEM (Crusher) lacks MPI subcommunicator support, so 2D grids
+  /// larger than 1x1 are not allowed on that machine (paper §3.4).
+  bool shmem_subcomm_support = true;
+
+  /// Cori Haswell: Xeon E5-2698v3 cores, Cray Aries. CPU-only experiments
+  /// (paper Fig 4-8).
+  static MachineModel cori_haswell();
+  /// Perlmutter GPU partition: EPYC 7763 + 4x A100, Slingshot 11
+  /// (paper Fig 10-11).
+  static MachineModel perlmutter();
+  /// Crusher: EPYC 7A53 + 4x MI250X (8 GCDs), Slingshot; no ROC-SHMEM
+  /// subcommunicators (paper Fig 9).
+  static MachineModel crusher();
+};
+
+}  // namespace sptrsv

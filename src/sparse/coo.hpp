@@ -1,0 +1,38 @@
+#pragma once
+/// \file coo.hpp
+/// \brief Coordinate-format sparse matrix used as a construction staging area.
+
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace sptrsv {
+
+/// A single nonzero entry in coordinate format.
+struct Triplet {
+  Idx row = 0;
+  Idx col = 0;
+  Real val = 0.0;
+};
+
+/// Coordinate-format (COO) sparse matrix.
+///
+/// COO is the universal staging format: generators and Matrix-Market readers
+/// emit triplets (possibly unsorted, possibly with duplicates), and
+/// `CsrMatrix::from_coo` compresses them. Duplicate entries are summed, which
+/// matches Matrix-Market assembly semantics for FEM-style generators.
+struct CooMatrix {
+  Idx rows = 0;
+  Idx cols = 0;
+  std::vector<Triplet> entries;
+
+  void add(Idx r, Idx c, Real v) { entries.push_back({r, c, v}); }
+
+  /// Adds both (r,c,v) and (c,r,v). Diagonal entries are added once.
+  void add_sym(Idx r, Idx c, Real v) {
+    add(r, c, v);
+    if (r != c) add(c, r, v);
+  }
+};
+
+}  // namespace sptrsv

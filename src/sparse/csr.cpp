@@ -1,0 +1,262 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sptrsv {
+
+CsrMatrix::CsrMatrix(Idx rows, Idx cols) : rows_(rows), cols_(cols) {
+  rowptr_.assign(static_cast<size_t>(rows) + 1, 0);
+}
+
+CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
+  CsrMatrix m(coo.rows, coo.cols);
+  const auto n = static_cast<size_t>(coo.rows);
+
+  // Count entries per row, then bucket-place and finally merge duplicates.
+  std::vector<Nnz> counts(n + 1, 0);
+  for (const auto& t : coo.entries) {
+    if (t.row < 0 || t.row >= coo.rows || t.col < 0 || t.col >= coo.cols) {
+      throw std::out_of_range("CsrMatrix::from_coo: entry out of range");
+    }
+    ++counts[static_cast<size_t>(t.row) + 1];
+  }
+  std::partial_sum(counts.begin(), counts.end(), counts.begin());
+
+  std::vector<Idx> cols(coo.entries.size());
+  std::vector<Real> vals(coo.entries.size());
+  {
+    std::vector<Nnz> next(counts.begin(), counts.end() - 1);
+    for (const auto& t : coo.entries) {
+      const Nnz p = next[static_cast<size_t>(t.row)]++;
+      cols[static_cast<size_t>(p)] = t.col;
+      vals[static_cast<size_t>(p)] = t.val;
+    }
+  }
+
+  // Sort each row by column and sum duplicates in place.
+  m.rowptr_.assign(n + 1, 0);
+  std::vector<Nnz> perm_buf;
+  Nnz out = 0;
+  std::vector<std::pair<Idx, Real>> row;
+  for (size_t r = 0; r < n; ++r) {
+    row.clear();
+    for (Nnz p = counts[r]; p < counts[r + 1]; ++p) {
+      row.emplace_back(cols[static_cast<size_t>(p)], vals[static_cast<size_t>(p)]);
+    }
+    std::sort(row.begin(), row.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (size_t i = 0; i < row.size();) {
+      Idx c = row[i].first;
+      Real v = 0;
+      while (i < row.size() && row[i].first == c) v += row[i++].second;
+      cols[static_cast<size_t>(out)] = c;
+      vals[static_cast<size_t>(out)] = v;
+      ++out;
+    }
+    m.rowptr_[r + 1] = out;
+  }
+  cols.resize(static_cast<size_t>(out));
+  vals.resize(static_cast<size_t>(out));
+  m.colidx_ = std::move(cols);
+  m.values_ = std::move(vals);
+  return m;
+}
+
+CsrMatrix CsrMatrix::from_raw(Idx rows, Idx cols, std::vector<Nnz> rowptr,
+                              std::vector<Idx> colidx, std::vector<Real> values) {
+  if (rowptr.size() != static_cast<size_t>(rows) + 1 || rowptr.front() != 0 ||
+      rowptr.back() != static_cast<Nnz>(colidx.size()) ||
+      colidx.size() != values.size()) {
+    throw std::invalid_argument("CsrMatrix::from_raw: inconsistent arrays");
+  }
+  for (Idx r = 0; r < rows; ++r) {
+    if (rowptr[r] > rowptr[r + 1]) {
+      throw std::invalid_argument("CsrMatrix::from_raw: rowptr not monotone");
+    }
+    for (Nnz p = rowptr[r]; p < rowptr[r + 1]; ++p) {
+      const Idx c = colidx[static_cast<size_t>(p)];
+      if (c < 0 || c >= cols) throw std::out_of_range("CsrMatrix::from_raw: column");
+      if (p > rowptr[r] && colidx[static_cast<size_t>(p - 1)] >= c) {
+        throw std::invalid_argument("CsrMatrix::from_raw: columns not sorted/unique");
+      }
+    }
+  }
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.rowptr_ = std::move(rowptr);
+  m.colidx_ = std::move(colidx);
+  m.values_ = std::move(values);
+  return m;
+}
+
+Real CsrMatrix::at(Idx r, Idx c) const {
+  const auto cs = row_cols(r);
+  const auto it = std::lower_bound(cs.begin(), cs.end(), c);
+  if (it == cs.end() || *it != c) return 0.0;
+  return values_[static_cast<size_t>(rowptr_[r] + (it - cs.begin()))];
+}
+
+bool CsrMatrix::has_entry(Idx r, Idx c) const {
+  const auto cs = row_cols(r);
+  return std::binary_search(cs.begin(), cs.end(), c);
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  CsrMatrix t(cols_, rows_);
+  t.rowptr_.assign(static_cast<size_t>(cols_) + 1, 0);
+  for (const Idx c : colidx_) ++t.rowptr_[static_cast<size_t>(c) + 1];
+  std::partial_sum(t.rowptr_.begin(), t.rowptr_.end(), t.rowptr_.begin());
+  t.colidx_.resize(colidx_.size());
+  t.values_.resize(values_.size());
+  std::vector<Nnz> next(t.rowptr_.begin(), t.rowptr_.end() - 1);
+  for (Idx r = 0; r < rows_; ++r) {
+    for (Nnz p = rowptr_[r]; p < rowptr_[r + 1]; ++p) {
+      const Idx c = colidx_[static_cast<size_t>(p)];
+      const Nnz q = next[static_cast<size_t>(c)]++;
+      t.colidx_[static_cast<size_t>(q)] = r;
+      t.values_[static_cast<size_t>(q)] = values_[static_cast<size_t>(p)];
+    }
+  }
+  return t;
+}
+
+CsrMatrix CsrMatrix::symmetrized_pattern() const {
+  const CsrMatrix t = transposed();
+  CsrMatrix s(rows_, cols_);
+  s.rowptr_.assign(static_cast<size_t>(rows_) + 1, 0);
+  // Two-pass merge of each row of A and A^T.
+  auto merge_row = [&](Idx r, auto&& emit) {
+    const auto a = row_cols(r);
+    const auto av = row_vals(r);
+    const auto b = t.row_cols(r);
+    size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+      if (j == b.size() || (i < a.size() && a[i] < b[j])) {
+        emit(a[i], av[i]);
+        ++i;
+      } else if (i == a.size() || b[j] < a[i]) {
+        emit(b[j], 0.0);  // structural zero added for symmetry
+        ++j;
+      } else {
+        emit(a[i], av[i]);
+        ++i;
+        ++j;
+      }
+    }
+  };
+  for (Idx r = 0; r < rows_; ++r) {
+    Nnz cnt = 0;
+    merge_row(r, [&](Idx, Real) { ++cnt; });
+    s.rowptr_[static_cast<size_t>(r) + 1] = s.rowptr_[static_cast<size_t>(r)] + cnt;
+  }
+  s.colidx_.resize(static_cast<size_t>(s.rowptr_.back()));
+  s.values_.resize(static_cast<size_t>(s.rowptr_.back()));
+  for (Idx r = 0; r < rows_; ++r) {
+    Nnz p = s.rowptr_[static_cast<size_t>(r)];
+    merge_row(r, [&](Idx c, Real v) {
+      s.colidx_[static_cast<size_t>(p)] = c;
+      s.values_[static_cast<size_t>(p)] = v;
+      ++p;
+    });
+  }
+  return s;
+}
+
+CsrMatrix CsrMatrix::permuted_symmetric(std::span<const Idx> perm) const {
+  assert(rows_ == cols_);
+  assert(perm.size() == static_cast<size_t>(rows_));
+  const std::vector<Idx> inv = invert_permutation(perm);
+  CooMatrix coo;
+  coo.rows = rows_;
+  coo.cols = cols_;
+  coo.entries.reserve(static_cast<size_t>(nnz()));
+  for (Idx newr = 0; newr < rows_; ++newr) {
+    const Idx oldr = perm[static_cast<size_t>(newr)];
+    const auto cs = row_cols(oldr);
+    const auto vs = row_vals(oldr);
+    for (size_t k = 0; k < cs.size(); ++k) {
+      coo.add(newr, inv[static_cast<size_t>(cs[k])], vs[k]);
+    }
+  }
+  return from_coo(coo);
+}
+
+bool CsrMatrix::has_symmetric_pattern() const {
+  if (rows_ != cols_) return false;
+  for (Idx r = 0; r < rows_; ++r) {
+    for (const Idx c : row_cols(r)) {
+      if (!has_entry(c, r)) return false;
+    }
+  }
+  return true;
+}
+
+void CsrMatrix::matvec(std::span<const Real> x, std::span<Real> y) const {
+  assert(x.size() == static_cast<size_t>(cols_));
+  assert(y.size() == static_cast<size_t>(rows_));
+  for (Idx r = 0; r < rows_; ++r) {
+    Real acc = 0;
+    for (Nnz p = rowptr_[r]; p < rowptr_[r + 1]; ++p) {
+      acc += values_[static_cast<size_t>(p)] * x[static_cast<size_t>(colidx_[static_cast<size_t>(p)])];
+    }
+    y[static_cast<size_t>(r)] = acc;
+  }
+}
+
+void CsrMatrix::matmul(std::span<const Real> x, std::span<Real> y, Idx nrhs) const {
+  assert(x.size() == static_cast<size_t>(cols_) * static_cast<size_t>(nrhs));
+  assert(y.size() == static_cast<size_t>(rows_) * static_cast<size_t>(nrhs));
+  for (Idx j = 0; j < nrhs; ++j) {
+    matvec(x.subspan(static_cast<size_t>(j) * static_cast<size_t>(cols_), static_cast<size_t>(cols_)),
+           y.subspan(static_cast<size_t>(j) * static_cast<size_t>(rows_), static_cast<size_t>(rows_)));
+  }
+}
+
+void CsrMatrix::make_diagonally_dominant(Real factor, Real shift) {
+  for (Idx r = 0; r < rows_; ++r) {
+    Real sum = 0;
+    Nnz diag = -1;
+    for (Nnz p = rowptr_[r]; p < rowptr_[r + 1]; ++p) {
+      if (colidx_[static_cast<size_t>(p)] == r) {
+        diag = p;
+      } else {
+        sum += std::abs(values_[static_cast<size_t>(p)]);
+      }
+    }
+    if (diag < 0) throw std::logic_error("make_diagonally_dominant: missing diagonal");
+    values_[static_cast<size_t>(diag)] = sum * factor + shift;
+  }
+}
+
+bool CsrMatrix::has_full_diagonal() const {
+  for (Idx r = 0; r < rows_; ++r) {
+    if (!has_entry(r, r)) return false;
+  }
+  return true;
+}
+
+std::vector<Idx> invert_permutation(std::span<const Idx> perm) {
+  std::vector<Idx> inv(perm.size(), kNoIdx);
+  for (size_t i = 0; i < perm.size(); ++i) {
+    inv[static_cast<size_t>(perm[i])] = static_cast<Idx>(i);
+  }
+  return inv;
+}
+
+bool is_permutation(std::span<const Idx> perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (const Idx p : perm) {
+    if (p < 0 || static_cast<size_t>(p) >= perm.size() || seen[static_cast<size_t>(p)]) {
+      return false;
+    }
+    seen[static_cast<size_t>(p)] = true;
+  }
+  return true;
+}
+
+}  // namespace sptrsv

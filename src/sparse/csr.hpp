@@ -1,0 +1,100 @@
+#pragma once
+/// \file csr.hpp
+/// \brief Compressed sparse row matrix and the structural operations the
+/// ordering / symbolic layers need.
+///
+/// The solver pipeline assumes a structurally symmetric matrix (the paper
+/// makes the same assumption, §2.2: "we have assumed that the matrix A has
+/// symmetric nonzero patterns for simplicity"); `symmetrized_pattern` enforces
+/// it for arbitrary inputs by adding explicit zeros.
+
+#include <span>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/types.hpp"
+
+namespace sptrsv {
+
+/// Compressed sparse row matrix with sorted column indices per row.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds an empty (all-zero) matrix of the given shape.
+  CsrMatrix(Idx rows, Idx cols);
+
+  /// Compresses a COO matrix: sorts entries, sums duplicates.
+  static CsrMatrix from_coo(const CooMatrix& coo);
+
+  /// Builds directly from raw CSR arrays (validated).
+  static CsrMatrix from_raw(Idx rows, Idx cols, std::vector<Nnz> rowptr,
+                            std::vector<Idx> colidx, std::vector<Real> values);
+
+  Idx rows() const { return rows_; }
+  Idx cols() const { return cols_; }
+  Nnz nnz() const { return static_cast<Nnz>(colidx_.size()); }
+
+  std::span<const Nnz> rowptr() const { return rowptr_; }
+  std::span<const Idx> colidx() const { return colidx_; }
+  std::span<const Real> values() const { return values_; }
+  std::span<Real> values_mut() { return values_; }
+
+  /// Column indices of row `r` (sorted ascending).
+  std::span<const Idx> row_cols(Idx r) const {
+    return {colidx_.data() + rowptr_[r], static_cast<size_t>(rowptr_[r + 1] - rowptr_[r])};
+  }
+  /// Values of row `r`, aligned with `row_cols(r)`.
+  std::span<const Real> row_vals(Idx r) const {
+    return {values_.data() + rowptr_[r], static_cast<size_t>(rowptr_[r + 1] - rowptr_[r])};
+  }
+
+  /// Value at (r,c); zero if not stored. O(log nnz(row)).
+  Real at(Idx r, Idx c) const;
+
+  /// True if (r,c) is a stored entry.
+  bool has_entry(Idx r, Idx c) const;
+
+  /// Transposed copy.
+  CsrMatrix transposed() const;
+
+  /// Pattern-symmetrized copy: the result stores entry (i,j) whenever either
+  /// (i,j) or (j,i) is stored in `*this`; new entries get value 0.
+  CsrMatrix symmetrized_pattern() const;
+
+  /// Symmetric permutation P*A*P^T where `perm[new] = old`... see note:
+  /// `perm` maps new index -> old index (i.e. row `i` of the result is row
+  /// `perm[i]` of the input with columns relabeled by the inverse map).
+  CsrMatrix permuted_symmetric(std::span<const Idx> perm) const;
+
+  /// True if the *pattern* is symmetric.
+  bool has_symmetric_pattern() const;
+
+  /// y = A*x for a dense vector (used by residual checks).
+  void matvec(std::span<const Real> x, std::span<Real> y) const;
+
+  /// y = A*X for `nrhs` column-major dense RHS, ld = rows.
+  void matmul(std::span<const Real> x, std::span<Real> y, Idx nrhs) const;
+
+  /// Overwrites the diagonal so every row is strictly diagonally dominant:
+  /// a_ii = sum_j |a_ij| * factor + shift. Requires a stored diagonal.
+  void make_diagonally_dominant(Real factor = 1.0, Real shift = 1.0);
+
+  /// Returns true if every row has a stored diagonal entry.
+  bool has_full_diagonal() const;
+
+ private:
+  Idx rows_ = 0;
+  Idx cols_ = 0;
+  std::vector<Nnz> rowptr_;
+  std::vector<Idx> colidx_;
+  std::vector<Real> values_;
+};
+
+/// Inverts a permutation: returns `inv` with inv[perm[i]] = i.
+std::vector<Idx> invert_permutation(std::span<const Idx> perm);
+
+/// True if `perm` is a permutation of 0..n-1.
+bool is_permutation(std::span<const Idx> perm);
+
+}  // namespace sptrsv

@@ -1,0 +1,199 @@
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace sptrsv {
+
+namespace {
+
+/// Deterministic small off-diagonal coupling in [-1.0, -0.1]; negative
+/// couplings with a dominant positive diagonal is the classic M-matrix shape
+/// of discretized elliptic operators.
+class CouplingGen {
+ public:
+  explicit CouplingGen(std::uint64_t seed) : rng_(seed) {}
+  Real operator()() {
+    return -std::uniform_real_distribution<Real>(0.1, 1.0)(rng_);
+  }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// Adds a fully coupled dofs x dofs block between grid nodes a and b.
+void add_block(CooMatrix& coo, Idx a, Idx b, Idx dofs, Real weight, CouplingGen& gen) {
+  for (Idx i = 0; i < dofs; ++i) {
+    for (Idx j = 0; j < dofs; ++j) {
+      coo.add_sym(a * dofs + i, b * dofs + j, weight * gen());
+    }
+  }
+}
+
+void add_diag(CooMatrix& coo, Idx n_nodes, Idx dofs) {
+  for (Idx a = 0; a < n_nodes; ++a) {
+    for (Idx i = 0; i < dofs; ++i) {
+      coo.add(a * dofs + i, a * dofs + i, 1.0);  // placeholder, replaced below
+    }
+    // Weak intra-node coupling between the dofs of one node.
+    for (Idx i = 0; i < dofs; ++i) {
+      for (Idx j = i + 1; j < dofs; ++j) {
+        coo.add_sym(a * dofs + i, a * dofs + j, -0.05);
+      }
+    }
+  }
+}
+
+CsrMatrix finalize(CooMatrix& coo) {
+  CsrMatrix m = CsrMatrix::from_coo(coo);
+  m.make_diagonally_dominant(/*factor=*/1.0, /*shift=*/1.0);
+  return m;
+}
+
+}  // namespace
+
+CsrMatrix make_grid2d(Idx nx, Idx ny, Stencil2d stencil, const GridOptions& opt) {
+  if (nx <= 0 || ny <= 0 || opt.dofs_per_node <= 0) {
+    throw std::invalid_argument("make_grid2d: sizes must be positive");
+  }
+  const Idx d = opt.dofs_per_node;
+  CooMatrix coo;
+  coo.rows = coo.cols = nx * ny * d;
+  CouplingGen gen(opt.seed);
+  auto id = [nx](Idx x, Idx y) { return y * nx + x; };
+  add_diag(coo, nx * ny, d);
+  for (Idx y = 0; y < ny; ++y) {
+    for (Idx x = 0; x < nx; ++x) {
+      const Idx a = id(x, y);
+      if (x + 1 < nx) add_block(coo, a, id(x + 1, y), d, 1.0, gen);
+      if (y + 1 < ny) add_block(coo, a, id(x, y + 1), d, opt.anisotropy, gen);
+      if (stencil == Stencil2d::kNinePoint) {
+        if (x + 1 < nx && y + 1 < ny) add_block(coo, a, id(x + 1, y + 1), d, opt.anisotropy, gen);
+        if (x > 0 && y + 1 < ny) add_block(coo, a, id(x - 1, y + 1), d, opt.anisotropy, gen);
+      }
+    }
+  }
+  return finalize(coo);
+}
+
+CsrMatrix make_grid3d(Idx nx, Idx ny, Idx nz, Stencil3d stencil, const GridOptions& opt) {
+  if (nx <= 0 || ny <= 0 || nz <= 0 || opt.dofs_per_node <= 0) {
+    throw std::invalid_argument("make_grid3d: sizes must be positive");
+  }
+  const Idx d = opt.dofs_per_node;
+  CooMatrix coo;
+  coo.rows = coo.cols = nx * ny * nz * d;
+  CouplingGen gen(opt.seed);
+  auto id = [nx, ny](Idx x, Idx y, Idx z) { return (z * ny + y) * nx + x; };
+  add_diag(coo, nx * ny * nz, d);
+  for (Idx z = 0; z < nz; ++z) {
+    for (Idx y = 0; y < ny; ++y) {
+      for (Idx x = 0; x < nx; ++x) {
+        const Idx a = id(x, y, z);
+        if (stencil == Stencil3d::kSevenPoint) {
+          if (x + 1 < nx) add_block(coo, a, id(x + 1, y, z), d, 1.0, gen);
+          if (y + 1 < ny) add_block(coo, a, id(x, y + 1, z), d, opt.anisotropy, gen);
+          if (z + 1 < nz) add_block(coo, a, id(x, y, z + 1), d, opt.anisotropy, gen);
+        } else {
+          // 27-point: couple to every neighbour in the forward half-space.
+          for (Idx dz = 0; dz <= 1; ++dz) {
+            for (Idx dy = -1; dy <= 1; ++dy) {
+              for (Idx dx = -1; dx <= 1; ++dx) {
+                // Enumerate each unordered pair once.
+                if (dz == 0 && (dy < 0 || (dy == 0 && dx <= 0))) continue;
+                const Idx X = x + dx, Y = y + dy, Z = z + dz;
+                if (X < 0 || X >= nx || Y < 0 || Y >= ny || Z < 0 || Z >= nz) continue;
+                const Real w = (dy != 0 || dz != 0) ? opt.anisotropy : 1.0;
+                add_block(coo, a, id(X, Y, Z), d, w, gen);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return finalize(coo);
+}
+
+CsrMatrix make_random_geometric(Idx n, Real avg_degree, Real long_range,
+                                std::uint64_t seed) {
+  if (n <= 0) throw std::invalid_argument("make_random_geometric: n must be positive");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<Real> uni(0.0, 1.0);
+  std::vector<std::pair<Real, Real>> pos(static_cast<size_t>(n));
+  for (auto& p : pos) p = {uni(rng), uni(rng)};
+
+  CooMatrix coo;
+  coo.rows = coo.cols = n;
+  CouplingGen gen(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (Idx i = 0; i < n; ++i) coo.add(i, i, 1.0);
+
+  // Local edges: connect each vertex to its nearest neighbours by a grid
+  // hash (cell lists), which keeps generation O(n).
+  const Real radius = std::sqrt(avg_degree / (3.141592653589793 * n));
+  const Idx cells = std::max<Idx>(1, static_cast<Idx>(1.0 / std::max(radius, 1e-6)));
+  std::vector<std::vector<Idx>> grid(static_cast<size_t>(cells) * cells);
+  auto cell_of = [&](Idx v) {
+    const Idx cx = std::min<Idx>(cells - 1, static_cast<Idx>(pos[static_cast<size_t>(v)].first * cells));
+    const Idx cy = std::min<Idx>(cells - 1, static_cast<Idx>(pos[static_cast<size_t>(v)].second * cells));
+    return cy * cells + cx;
+  };
+  for (Idx v = 0; v < n; ++v) grid[static_cast<size_t>(cell_of(v))].push_back(v);
+  for (Idx v = 0; v < n; ++v) {
+    const Idx c = cell_of(v);
+    const Idx cx = c % cells, cy = c / cells;
+    for (Idx dy = -1; dy <= 1; ++dy) {
+      for (Idx dx = -1; dx <= 1; ++dx) {
+        const Idx X = cx + dx, Y = cy + dy;
+        if (X < 0 || X >= cells || Y < 0 || Y >= cells) continue;
+        for (const Idx u : grid[static_cast<size_t>(Y * cells + X)]) {
+          if (u <= v) continue;
+          const Real ddx = pos[static_cast<size_t>(v)].first - pos[static_cast<size_t>(u)].first;
+          const Real ddy = pos[static_cast<size_t>(v)].second - pos[static_cast<size_t>(u)].second;
+          if (ddx * ddx + ddy * ddy <= radius * radius) coo.add_sym(v, u, gen());
+        }
+      }
+    }
+  }
+
+  // Long-range edges: uniformly random pairs; these create heavy fill.
+  const auto n_long = static_cast<Nnz>(long_range * n);
+  std::uniform_int_distribution<Idx> pick(0, n - 1);
+  for (Nnz e = 0; e < n_long; ++e) {
+    const Idx a = pick(rng), b = pick(rng);
+    if (a != b) coo.add_sym(a, b, gen());
+  }
+  return finalize(coo);
+}
+
+CsrMatrix make_random_symmetric(Idx n, Real avg_degree, std::uint64_t seed) {
+  if (n <= 0) throw std::invalid_argument("make_random_symmetric: n must be positive");
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Idx> pick(0, n - 1);
+  CouplingGen gen(seed ^ 0xc2b2ae3d27d4eb4fULL);
+  CooMatrix coo;
+  coo.rows = coo.cols = n;
+  for (Idx i = 0; i < n; ++i) coo.add(i, i, 1.0);
+  const auto n_edges = static_cast<Nnz>(avg_degree * n / 2.0);
+  for (Nnz e = 0; e < n_edges; ++e) {
+    const Idx a = pick(rng), b = pick(rng);
+    if (a != b) coo.add_sym(a, b, gen());
+  }
+  return finalize(coo);
+}
+
+CsrMatrix make_banded(Idx n, Idx bw, std::uint64_t seed) {
+  if (n <= 0 || bw < 0) throw std::invalid_argument("make_banded: bad sizes");
+  CouplingGen gen(seed);
+  CooMatrix coo;
+  coo.rows = coo.cols = n;
+  for (Idx i = 0; i < n; ++i) {
+    coo.add(i, i, 1.0);
+    for (Idx j = i + 1; j <= std::min<Idx>(n - 1, i + bw); ++j) coo.add_sym(i, j, gen());
+  }
+  return finalize(coo);
+}
+
+}  // namespace sptrsv

@@ -1,0 +1,58 @@
+#pragma once
+/// \file generators.hpp
+/// \brief Synthetic sparse matrix generators.
+///
+/// These replace the SuiteSparse download the paper uses (offline
+/// reproduction). Each generator produces a structurally symmetric,
+/// diagonally dominant matrix so the unpivoted supernodal LU in `src/factor`
+/// is numerically stable, matching the paper's assumption of pre-factorized
+/// systems with precomputed inverted diagonal blocks.
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace sptrsv {
+
+/// 2D grid stencils.
+enum class Stencil2d { kFivePoint, kNinePoint };
+
+/// 3D grid stencils.
+enum class Stencil3d { kSevenPoint, kTwentySevenPoint };
+
+/// Options for grid-based generators.
+struct GridOptions {
+  /// Degrees of freedom per grid node (vector PDEs couple all dofs of
+  /// adjacent nodes; dofs > 1 mimics elasticity / Maxwell FEM blocks).
+  Idx dofs_per_node = 1;
+  /// Anisotropy: couplings along x get weight 1, along y (and z) get
+  /// `anisotropy`. 1.0 = isotropic.
+  Real anisotropy = 1.0;
+  /// Seed for the value perturbation (patterns are deterministic).
+  std::uint64_t seed = 42;
+};
+
+/// Finite-difference discretization of a 2D Poisson-like operator on an
+/// nx-by-ny grid. `s2D9pt2048` in the paper is the 9-point variant.
+CsrMatrix make_grid2d(Idx nx, Idx ny, Stencil2d stencil, const GridOptions& opt = {});
+
+/// Finite-difference discretization of a 3D operator on an nx*ny*nz grid.
+CsrMatrix make_grid3d(Idx nx, Idx ny, Idx nz, Stencil3d stencil, const GridOptions& opt = {});
+
+/// Random geometric graph on `n` vertices: vertices are placed uniformly in
+/// the unit square, and each vertex connects to roughly `avg_degree`
+/// neighbours with probability decaying with distance, plus a fraction
+/// `long_range` of uniformly random long-range edges. Long-range edges drive
+/// LU fill toward the dense regime (Ga19As19H42-like matrices).
+CsrMatrix make_random_geometric(Idx n, Real avg_degree, Real long_range,
+                                std::uint64_t seed = 42);
+
+/// Uniformly random structurally-symmetric sparse matrix with ~`avg_degree`
+/// off-diagonal entries per row. Used by property-based tests.
+CsrMatrix make_random_symmetric(Idx n, Real avg_degree, std::uint64_t seed);
+
+/// Dense lower-bandwidth banded matrix (bandwidth `bw` each side); handy for
+/// exercising supernode merging in tests.
+CsrMatrix make_banded(Idx n, Idx bw, std::uint64_t seed = 42);
+
+}  // namespace sptrsv

@@ -1,0 +1,29 @@
+#pragma once
+/// \file types.hpp
+/// \brief Fundamental index and scalar types shared across the library.
+///
+/// All matrix dimensions use 32-bit signed indices (`Idx`); nonzero offsets
+/// use 64-bit (`Nnz`) so that matrices with more than 2^31 nonzeros in their
+/// LU factors (cf. Table 1 of the paper: nlpkkt80 has 1.9e9 nonzeros) remain
+/// representable even though the scaled-down reproduction never reaches that.
+
+#include <cstdint>
+#include <limits>
+
+namespace sptrsv {
+
+/// Row/column/supernode index type.
+using Idx = std::int32_t;
+
+/// Nonzero-count / offset type.
+using Nnz = std::int64_t;
+
+/// Scalar type for matrix values. The paper's solver is templated on
+/// real/complex in SuperLU_DIST; this reproduction fixes double precision,
+/// which is what all reported experiments use.
+using Real = double;
+
+/// Sentinel for "no index" (e.g. a root in an elimination tree).
+inline constexpr Idx kNoIdx = -1;
+
+}  // namespace sptrsv

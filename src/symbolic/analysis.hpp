@@ -1,0 +1,49 @@
+#pragma once
+/// \file analysis.hpp
+/// \brief Solve-DAG analysis: critical path, available parallelism, and
+/// level structure of the supernodal triangular-solve task graph.
+///
+/// SpTRSV performance is governed by the dependency DAG (paper §2.1): the
+/// critical path bounds any parallel schedule from below, and the ratio
+/// total-work / critical-path bounds the useful processor count. The
+/// paper's own analyses (critical-path studies in [12, 13]) use the same
+/// quantities; benches report them to explain where the Pz / GPU scaling
+/// knees fall.
+
+#include <vector>
+
+#include "symbolic/block_pattern.hpp"
+
+namespace sptrsv {
+
+/// Statistics of the L-solve task DAG (the U-solve DAG is its reverse and
+/// shares every number).
+struct SolveDagStats {
+  /// Task = one supernode: apply the diagonal inverse + panel GEMV.
+  Idx num_tasks = 0;
+  /// Flops summed over all tasks (one triangular solve, `nrhs` RHS).
+  double total_flops = 0;
+  /// Flops along the heaviest dependency chain.
+  double critical_path_flops = 0;
+  /// Tasks along the longest (by count) dependency chain.
+  Idx critical_path_length = 0;
+  /// total_flops / critical_path_flops: the max useful speedup of any
+  /// schedule, however many processors.
+  double parallelism() const {
+    return critical_path_flops > 0 ? total_flops / critical_path_flops : 1.0;
+  }
+  /// Number of level sets (wavefronts) of the DAG == critical_path_length.
+  /// Sizes of each wavefront, in elimination order.
+  std::vector<Idx> level_sizes;
+};
+
+/// Analyzes the solve DAG of `sym` for `nrhs` right-hand sides.
+SolveDagStats analyze_solve_dag(const SymbolicStructure& sym, Idx nrhs = 1);
+
+/// Lower bound (seconds) on any solve schedule with per-task flop rate
+/// `flop_rate` and `latency` charged per critical-path hop — the model's
+/// analogue of the paper's critical-path estimates.
+double solve_time_lower_bound(const SolveDagStats& s, double flop_rate,
+                              double latency);
+
+}  // namespace sptrsv

@@ -1,0 +1,97 @@
+#include "symbolic/block_pattern.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sptrsv {
+
+Idx SymbolicStructure::find_block(Idx k, Idx i) const {
+  const auto& b = below[static_cast<size_t>(k)];
+  const auto it = std::lower_bound(b.begin(), b.end(), i);
+  if (it == b.end() || *it != i) return kNoIdx;
+  return static_cast<Idx>(it - b.begin());
+}
+
+Nnz SymbolicStructure::blocked_lu_nnz() const {
+  Nnz total = 0;
+  for (Idx k = 0; k < num_supernodes(); ++k) {
+    const Nnz w = part.width(k);
+    total += w * (w + 2 * static_cast<Nnz>(panel_rows[static_cast<size_t>(k)]));
+  }
+  return total;
+}
+
+bool SymbolicStructure::check_closure() const {
+  for (Idx k = 0; k < num_supernodes(); ++k) {
+    const auto& b = below[static_cast<size_t>(k)];
+    for (size_t i = 0; i < b.size(); ++i) {
+      for (size_t j = i + 1; j < b.size(); ++j) {
+        if (find_block(b[i], b[j]) == kNoIdx) return false;
+      }
+    }
+  }
+  return true;
+}
+
+SymbolicStructure block_symbolic(const CsrMatrix& a, SupernodePartition part) {
+  const Idx n = a.rows();
+  if (!part.check_invariants(n)) {
+    throw std::invalid_argument("block_symbolic: invalid supernode partition");
+  }
+  const Idx nsup = part.num_supernodes();
+
+  SymbolicStructure s;
+  s.n = n;
+  s.part = std::move(part);
+  s.sn_parent.assign(static_cast<size_t>(nsup), kNoIdx);
+  s.below.resize(static_cast<size_t>(nsup));
+  s.below_offset.resize(static_cast<size_t>(nsup));
+  s.panel_rows.assign(static_cast<size_t>(nsup), 0);
+
+  // pending[K]: blocks propagated from children (may contain duplicates).
+  std::vector<std::vector<Idx>> pending(static_cast<size_t>(nsup));
+  std::vector<Idx> stamp(static_cast<size_t>(nsup), kNoIdx);
+  std::vector<Idx> current;
+
+  for (Idx k = 0; k < nsup; ++k) {
+    current.clear();
+    auto add = [&](Idx blk) {
+      if (blk > k && stamp[static_cast<size_t>(blk)] != k) {
+        stamp[static_cast<size_t>(blk)] = k;
+        current.push_back(blk);
+      }
+    };
+    // Original entries: symmetric pattern makes row j's pattern double as
+    // column j's pattern.
+    for (Idx j = s.part.first_col(k); j < s.part.first_col(k) + s.part.width(k); ++j) {
+      for (const Idx i : a.row_cols(j)) {
+        add(s.part.col_to_sn[static_cast<size_t>(i)]);
+      }
+    }
+    // Fill propagated up from children.
+    for (const Idx blk : pending[static_cast<size_t>(k)]) add(blk);
+    pending[static_cast<size_t>(k)].clear();
+    pending[static_cast<size_t>(k)].shrink_to_fit();
+
+    std::sort(current.begin(), current.end());
+    auto& b = s.below[static_cast<size_t>(k)];
+    b = current;
+    if (!b.empty()) {
+      const Idx parent = b.front();
+      s.sn_parent[static_cast<size_t>(k)] = parent;
+      auto& pp = pending[static_cast<size_t>(parent)];
+      pp.insert(pp.end(), b.begin() + 1, b.end());
+    }
+    auto& off = s.below_offset[static_cast<size_t>(k)];
+    off.resize(b.size());
+    Idx rows = 0;
+    for (size_t i = 0; i < b.size(); ++i) {
+      off[i] = rows;
+      rows += s.part.width(b[i]);
+    }
+    s.panel_rows[static_cast<size_t>(k)] = rows;
+  }
+  return s;
+}
+
+}  // namespace sptrsv

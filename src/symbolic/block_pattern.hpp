@@ -1,0 +1,56 @@
+#pragma once
+/// \file block_pattern.hpp
+/// \brief Supernode-level fill pattern of the LU factors.
+///
+/// With a symmetric nonzero pattern, L's block-column pattern equals U's
+/// block-row pattern, so one sorted list `below[K]` per supernode describes
+/// both: `I` in `below[K]` means L(I,K) and U(K,I) are structurally nonzero.
+/// Patterns are built by child->parent propagation (block-level symbolic
+/// Cholesky), which guarantees the closure property right-looking updates
+/// need: if I < J are both in below[K], then J is in below[I].
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "symbolic/supernodes.hpp"
+
+namespace sptrsv {
+
+/// Block-level symbolic structure of the LU factors.
+struct SymbolicStructure {
+  Idx n = 0;
+  SupernodePartition part;
+
+  /// Supernodal elimination tree: parent of K is the first block in
+  /// below[K], or kNoIdx for roots.
+  std::vector<Idx> sn_parent;
+
+  /// For each supernode K: sorted block row ids I > K with L(I,K) != 0.
+  std::vector<std::vector<Idx>> below;
+
+  /// below_offset[K][i] = scalar row offset of block below[K][i] within
+  /// supernode K's L panel (and symmetric column offset in its U panel).
+  std::vector<std::vector<Idx>> below_offset;
+
+  /// Total scalar rows in supernode K's off-diagonal panel.
+  std::vector<Idx> panel_rows;
+
+  Idx num_supernodes() const { return part.num_supernodes(); }
+
+  /// Position of block I within below[K] (binary search), kNoIdx if absent.
+  Idx find_block(Idx k, Idx i) const;
+
+  /// Scalar nonzero count of the dense-block factor storage:
+  /// sum over K of width(K) * (width(K) + 2*panel_rows(K)).
+  Nnz blocked_lu_nnz() const;
+
+  /// Verifies the closure property (O(sum |below|^2); test use only).
+  bool check_closure() const;
+};
+
+/// Builds the block-level symbolic structure of `a` (symmetric pattern
+/// required) under the supernode partition `part`.
+SymbolicStructure block_symbolic(const CsrMatrix& a, SupernodePartition part);
+
+}  // namespace sptrsv

@@ -1,0 +1,37 @@
+#include "symbolic/colcounts.hpp"
+
+#include <stdexcept>
+
+namespace sptrsv {
+
+std::vector<Nnz> cholesky_col_counts(const CsrMatrix& a, std::span<const Idx> parent) {
+  const Idx n = a.rows();
+  if (a.cols() != n || parent.size() != static_cast<size_t>(n)) {
+    throw std::invalid_argument("cholesky_col_counts: shape mismatch");
+  }
+  std::vector<Nnz> count(static_cast<size_t>(n), 1);  // diagonals
+  std::vector<Idx> stamp(static_cast<size_t>(n), kNoIdx);
+  for (Idx k = 0; k < n; ++k) {
+    stamp[static_cast<size_t>(k)] = k;  // never walk past k itself
+    for (const Idx i : a.row_cols(k)) {
+      if (i >= k) break;
+      // Walk i's etree path until an already-stamped vertex; every newly
+      // stamped vertex j contributes L(k,j) != 0.
+      for (Idx j = i; stamp[static_cast<size_t>(j)] != k;
+           j = parent[static_cast<size_t>(j)]) {
+        stamp[static_cast<size_t>(j)] = k;
+        ++count[static_cast<size_t>(j)];
+        if (parent[static_cast<size_t>(j)] == kNoIdx) break;
+      }
+    }
+  }
+  return count;
+}
+
+Nnz cholesky_factor_nnz(const CsrMatrix& a, std::span<const Idx> parent) {
+  Nnz total = 0;
+  for (const Nnz c : cholesky_col_counts(a, parent)) total += c;
+  return total;
+}
+
+}  // namespace sptrsv

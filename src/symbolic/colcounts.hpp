@@ -1,0 +1,26 @@
+#pragma once
+/// \file colcounts.hpp
+/// \brief Symbolic Cholesky column counts via row-subtree traversal.
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace sptrsv {
+
+/// Number of nonzeros in each column of the Cholesky factor L (diagonal
+/// included) of a symmetric-pattern matrix with elimination tree `parent`.
+///
+/// Uses the row-subtree characterization: L(k,j) != 0 iff j is on the etree
+/// path from some i (with a_ki != 0, i < k) up to k. Each row's subtree is
+/// traversed once with stamping, so the cost is O(nnz(L)) time, O(n) space —
+/// no factor storage is ever allocated.
+std::vector<Nnz> cholesky_col_counts(const CsrMatrix& a, std::span<const Idx> parent);
+
+/// Total nonzeros in L (sum of column counts); nnz(LU) with a symmetric
+/// pattern is `2*sum - n` (L and U share the diagonal). Used for Table 1.
+Nnz cholesky_factor_nnz(const CsrMatrix& a, std::span<const Idx> parent);
+
+}  // namespace sptrsv

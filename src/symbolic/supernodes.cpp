@@ -1,0 +1,95 @@
+#include "symbolic/supernodes.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sptrsv {
+
+bool SupernodePartition::check_invariants(Idx n) const {
+  if (start.empty() || start.front() != 0 || start.back() != n) return false;
+  if (col_to_sn.size() != static_cast<size_t>(n)) return false;
+  for (size_t k = 0; k + 1 < start.size(); ++k) {
+    if (start[k] >= start[k + 1]) return false;
+    for (Idx c = start[k]; c < start[k + 1]; ++c) {
+      if (col_to_sn[static_cast<size_t>(c)] != static_cast<Idx>(k)) return false;
+    }
+  }
+  return true;
+}
+
+SupernodePartition find_supernodes(std::span<const Idx> parent,
+                                   std::span<const Nnz> col_counts,
+                                   const SupernodeOptions& opt) {
+  const Idx n = static_cast<Idx>(parent.size());
+  if (col_counts.size() != static_cast<size_t>(n)) {
+    throw std::invalid_argument("find_supernodes: size mismatch");
+  }
+  if (opt.max_width <= 0) throw std::invalid_argument("find_supernodes: max_width");
+
+  std::vector<bool> forced(static_cast<size_t>(n) + 1, false);
+  for (const Idx b : opt.forced_breaks) {
+    if (b > 0 && b < n) forced[static_cast<size_t>(b)] = true;
+  }
+
+  // A column j continues the supernode of j-1 iff the classic fundamental
+  // condition holds and no forced break separates them.
+  auto chains = [&](Idx j) {
+    return !forced[static_cast<size_t>(j)] && parent[static_cast<size_t>(j - 1)] == j &&
+           col_counts[static_cast<size_t>(j)] == col_counts[static_cast<size_t>(j - 1)] - 1;
+  };
+
+  std::vector<Idx> start{0};
+  for (Idx j = 1; j < n; ++j) {
+    if (!chains(j)) start.push_back(j);
+  }
+  start.push_back(n);
+
+  // Relaxed amalgamation: greedily merge a narrow supernode into the next
+  // one when they are etree-adjacent (parent of the last column is the
+  // first column of the next supernode). The block layer stores dense
+  // panels, so the only cost of the merge is explicit zeros.
+  if (opt.relax_width > 0) {
+    std::vector<Idx> merged{start[0]};
+    for (size_t k = 1; k + 1 < start.size(); ++k) {
+      const Idx lo = merged.back();
+      const Idx mid = start[k];
+      const Idx hi = start[k + 1];
+      const bool narrow = (mid - lo) <= opt.relax_width || (hi - mid) <= opt.relax_width;
+      const bool adjacent = parent[static_cast<size_t>(mid - 1)] == mid;
+      const bool fits = (hi - lo) <= opt.max_width;
+      if (narrow && adjacent && fits && !forced[static_cast<size_t>(mid)]) {
+        continue;  // drop the boundary: merge
+      }
+      merged.push_back(mid);
+    }
+    merged.push_back(n);
+    start = std::move(merged);
+  }
+
+  // Enforce max_width by splitting oversized supernodes evenly.
+  std::vector<Idx> split{0};
+  for (size_t k = 0; k + 1 < start.size(); ++k) {
+    const Idx lo = start[k], hi = start[k + 1];
+    const Idx w = hi - lo;
+    if (w > opt.max_width) {
+      const Idx pieces = (w + opt.max_width - 1) / opt.max_width;
+      for (Idx p = 1; p < pieces; ++p) {
+        split.push_back(lo + static_cast<Idx>((static_cast<Nnz>(w) * p) / pieces));
+      }
+    }
+    split.push_back(hi);
+  }
+  start = std::move(split);
+
+  SupernodePartition part;
+  part.start = std::move(start);
+  part.col_to_sn.resize(static_cast<size_t>(n));
+  for (size_t k = 0; k + 1 < part.start.size(); ++k) {
+    for (Idx c = part.start[k]; c < part.start[k + 1]; ++c) {
+      part.col_to_sn[static_cast<size_t>(c)] = static_cast<Idx>(k);
+    }
+  }
+  return part;
+}
+
+}  // namespace sptrsv

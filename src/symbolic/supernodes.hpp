@@ -1,0 +1,51 @@
+#pragma once
+/// \file supernodes.hpp
+/// \brief Supernode detection: contiguous column groups with (near-)identical
+/// factor patterns, the unit of all block computation and communication.
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace sptrsv {
+
+/// Partition of columns 0..n-1 into supernodes of contiguous columns.
+struct SupernodePartition {
+  /// `start[K]..start[K+1]` are the columns of supernode K; size nsup+1.
+  std::vector<Idx> start;
+  /// Column -> supernode map; size n.
+  std::vector<Idx> col_to_sn;
+
+  Idx num_supernodes() const { return static_cast<Idx>(start.size()) - 1; }
+  Idx width(Idx k) const { return start[static_cast<size_t>(k) + 1] - start[static_cast<size_t>(k)]; }
+  Idx first_col(Idx k) const { return start[static_cast<size_t>(k)]; }
+
+  /// Structural sanity: contiguous cover of [0,n), consistent col_to_sn.
+  bool check_invariants(Idx n) const;
+};
+
+/// Options for supernode detection.
+struct SupernodeOptions {
+  /// Maximum supernode width; wide root separators are split so block
+  /// kernels stay cache-sized and the solve DAG keeps parallelism.
+  Idx max_width = 96;
+  /// Relaxed amalgamation: a supernode narrower than this may be merged
+  /// into its etree-following neighbour even if patterns differ slightly
+  /// (extra explicit zeros are stored). 0 disables relaxation.
+  Idx relax_width = 8;
+  /// Column indices where supernodes are forced to break (exclusive of 0
+  /// and n). The 3D layout requires supernodes not to straddle
+  /// ND-separator-tree node boundaries.
+  std::vector<Idx> forced_breaks;
+};
+
+/// Detects fundamental supernodes from the elimination tree and factor
+/// column counts (parent[j] == j+1 and count[j+1] == count[j]-1 chains),
+/// then applies relaxation and the forced breaks.
+SupernodePartition find_supernodes(std::span<const Idx> parent,
+                                   std::span<const Nnz> col_counts,
+                                   const SupernodeOptions& opt = {});
+
+}  // namespace sptrsv

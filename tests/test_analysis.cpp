@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/sptrsv3d.hpp"
+#include "factor/supernodal_lu.hpp"
+#include "ordering/etree.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/paper_matrices.hpp"
+#include "symbolic/analysis.hpp"
+#include "symbolic/colcounts.hpp"
+
+namespace sptrsv {
+namespace {
+
+SymbolicStructure analyze(const CsrMatrix& a, const SupernodeOptions& opt = {}) {
+  const auto parent = elimination_tree(a);
+  const auto counts = cholesky_col_counts(a, parent);
+  return block_symbolic(a, find_supernodes(parent, counts, opt));
+}
+
+TEST(SolveDag, DiagonalMatrixIsFullyParallel) {
+  CooMatrix coo;
+  coo.rows = coo.cols = 8;
+  for (Idx i = 0; i < 8; ++i) coo.add(i, i, 1.0);
+  SupernodeOptions opt;
+  opt.relax_width = 0;
+  const auto s = analyze_solve_dag(analyze(CsrMatrix::from_coo(coo), opt));
+  EXPECT_EQ(s.num_tasks, 8);
+  EXPECT_EQ(s.critical_path_length, 1);
+  EXPECT_DOUBLE_EQ(s.parallelism(), 8.0);  // all tasks identical, independent
+  ASSERT_EQ(s.level_sizes.size(), 1u);
+  EXPECT_EQ(s.level_sizes[0], 8);
+}
+
+TEST(SolveDag, ChainMatrixIsFullySequential) {
+  // Tridiagonal with scalar supernodes: every task depends on the previous.
+  const CsrMatrix a = make_banded(12, 1);
+  SupernodeOptions opt;
+  opt.relax_width = 0;
+  opt.max_width = 1;
+  const auto s = analyze_solve_dag(analyze(a, opt));
+  EXPECT_EQ(s.num_tasks, 12);
+  EXPECT_EQ(s.critical_path_length, 12);
+  EXPECT_LT(s.parallelism(), 1.5);
+  for (const Idx l : s.level_sizes) EXPECT_EQ(l, 1);
+}
+
+TEST(SolveDag, TotalFlopsMatchSolveFlops) {
+  const CsrMatrix a = make_grid2d(8, 8, Stencil2d::kNinePoint);
+  const auto sym = analyze(a);
+  const auto s1 = analyze_solve_dag(sym, 1);
+  // analyze_solve_dag counts one triangular solve; SupernodalLU counts
+  // L-solve + U-solve (2x).
+  const FactoredSystem fs = analyze_and_factor(a, 0);
+  // Different supernode partitions possible; compare against the same sym.
+  double expect = 0;
+  for (Idx k = 0; k < sym.num_supernodes(); ++k) {
+    const double w = sym.part.width(k);
+    expect += 2.0 * w * (w + sym.panel_rows[static_cast<size_t>(k)]);
+  }
+  EXPECT_DOUBLE_EQ(s1.total_flops, expect);
+  (void)fs;
+  // nrhs scales linearly.
+  const auto s50 = analyze_solve_dag(sym, 50);
+  EXPECT_DOUBLE_EQ(s50.total_flops, 50.0 * s1.total_flops);
+  EXPECT_DOUBLE_EQ(s50.parallelism(), s1.parallelism());
+}
+
+TEST(SolveDag, NdOrderingIncreasesParallelism) {
+  // ND ordering should expose far more DAG parallelism than the natural
+  // (banded-ish) ordering of a grid.
+  const CsrMatrix a = make_grid2d(16, 16, Stencil2d::kFivePoint);
+  const auto natural = analyze_solve_dag(analyze(a));
+  const FactoredSystem fs = analyze_and_factor(a, 3);
+  const auto nd = analyze_solve_dag(fs.lu.sym);
+  EXPECT_GT(nd.parallelism(), natural.parallelism());
+}
+
+TEST(SolveDag, LevelSizesSumToTasks) {
+  const CsrMatrix a = make_paper_matrix(PaperMatrix::kS2D9pt2048, MatrixScale::kTiny);
+  const FactoredSystem fs = analyze_and_factor(a, 2);
+  const auto s = analyze_solve_dag(fs.lu.sym);
+  Idx sum = 0;
+  for (const Idx l : s.level_sizes) sum += l;
+  EXPECT_EQ(sum, s.num_tasks);
+  EXPECT_EQ(static_cast<Idx>(s.level_sizes.size()), s.critical_path_length);
+}
+
+TEST(SolveDag, SingleRankModeledTimeMatchesTotalFlops) {
+  // Model consistency: on one rank with no communication, the modeled
+  // solve time must be close to total_flops / rate (the DAG imposes no
+  // waiting when everything is local and sequential).
+  const CsrMatrix a = make_paper_matrix(PaperMatrix::kS2D9pt2048, MatrixScale::kTiny);
+  const FactoredSystem fs = analyze_and_factor(a, 0);
+  const auto s = analyze_solve_dag(fs.lu.sym);
+  SolveConfig cfg;
+  cfg.shape = {1, 1, 1};
+  const MachineModel m = MachineModel::cori_haswell();
+  const std::vector<Real> b(static_cast<size_t>(a.rows()), 1.0);
+  const DistSolveOutcome out = solve_system_3d(fs, b, cfg, m);
+  const double fp = out.rank_times[0].l_fp + out.rank_times[0].u_fp;
+  // Both L and U phases execute the full task set once: 2 * total_flops.
+  EXPECT_NEAR(fp, 2.0 * s.total_flops / m.cpu_flop_rate, 0.05 * fp);
+  EXPECT_GE(out.makespan, fp);  // overheads only add
+}
+
+TEST(SolveDag, LowerBoundBehaviour) {
+  const CsrMatrix a = make_paper_matrix(PaperMatrix::kS2D9pt2048, MatrixScale::kTiny);
+  const FactoredSystem fs = analyze_and_factor(a, 2);
+  const auto s = analyze_solve_dag(fs.lu.sym);
+  const double no_latency = solve_time_lower_bound(s, 1e9, 0.0);
+  const double with_latency = solve_time_lower_bound(s, 1e9, 1e-6);
+  EXPECT_GT(no_latency, 0);
+  EXPECT_GT(with_latency, no_latency);
+  // Faster hardware lowers the bound.
+  EXPECT_LT(solve_time_lower_bound(s, 1e12, 0.0), no_latency);
+}
+
+}  // namespace
+}  // namespace sptrsv

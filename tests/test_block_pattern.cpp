@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "ordering/etree.hpp"
+#include "sparse/generators.hpp"
+#include "symbolic/block_pattern.hpp"
+#include "symbolic/colcounts.hpp"
+
+namespace sptrsv {
+namespace {
+
+SymbolicStructure analyze(const CsrMatrix& a, const SupernodeOptions& opt = {}) {
+  const auto parent = elimination_tree(a);
+  const auto counts = cholesky_col_counts(a, parent);
+  return block_symbolic(a, find_supernodes(parent, counts, opt));
+}
+
+TEST(BlockPattern, CoversOriginalEntries) {
+  const CsrMatrix a = make_grid2d(6, 6, Stencil2d::kNinePoint);
+  const auto s = analyze(a);
+  for (Idx i = 0; i < a.rows(); ++i) {
+    for (const Idx j : a.row_cols(i)) {
+      const Idx ki = s.part.col_to_sn[static_cast<size_t>(i)];
+      const Idx kj = s.part.col_to_sn[static_cast<size_t>(j)];
+      if (ki > kj) {
+        EXPECT_NE(s.find_block(kj, ki), kNoIdx) << "entry (" << i << "," << j << ")";
+      } else if (ki < kj) {
+        EXPECT_NE(s.find_block(ki, kj), kNoIdx);
+      }
+    }
+  }
+}
+
+TEST(BlockPattern, ClosurePropertyHolds) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const CsrMatrix a = make_random_symmetric(60, 3.0, seed);
+    EXPECT_TRUE(analyze(a).check_closure()) << "seed " << seed;
+  }
+  EXPECT_TRUE(analyze(make_grid2d(8, 8, Stencil2d::kFivePoint)).check_closure());
+  EXPECT_TRUE(analyze(make_grid3d(4, 4, 4, Stencil3d::kSevenPoint)).check_closure());
+}
+
+TEST(BlockPattern, ParentIsFirstBelowBlock) {
+  const CsrMatrix a = make_grid2d(7, 7, Stencil2d::kFivePoint);
+  const auto s = analyze(a);
+  for (Idx k = 0; k < s.num_supernodes(); ++k) {
+    const auto& b = s.below[static_cast<size_t>(k)];
+    if (b.empty()) {
+      EXPECT_EQ(s.sn_parent[static_cast<size_t>(k)], kNoIdx);
+    } else {
+      EXPECT_EQ(s.sn_parent[static_cast<size_t>(k)], b.front());
+      // Sorted, unique, all above k.
+      for (size_t i = 0; i < b.size(); ++i) {
+        EXPECT_GT(b[i], k);
+        if (i > 0) {
+          EXPECT_LT(b[i - 1], b[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockPattern, OffsetsAreCumulativeWidths) {
+  const CsrMatrix a = make_grid2d(6, 6, Stencil2d::kNinePoint);
+  const auto s = analyze(a);
+  for (Idx k = 0; k < s.num_supernodes(); ++k) {
+    const auto& b = s.below[static_cast<size_t>(k)];
+    const auto& off = s.below_offset[static_cast<size_t>(k)];
+    Idx expect = 0;
+    for (size_t i = 0; i < b.size(); ++i) {
+      EXPECT_EQ(off[i], expect);
+      expect += s.part.width(b[i]);
+    }
+    EXPECT_EQ(s.panel_rows[static_cast<size_t>(k)], expect);
+  }
+}
+
+TEST(BlockPattern, BlockedNnzAtLeastScalarFactorNnz) {
+  const CsrMatrix a = make_grid2d(8, 8, Stencil2d::kFivePoint);
+  const auto parent = elimination_tree(a);
+  const Nnz scalar_l = cholesky_factor_nnz(a, parent);
+  const auto s = analyze(a);
+  // Dense blocks can only add explicit zeros over the exact scalar count
+  // (nnz(LU) = 2*nnz(L) - n).
+  EXPECT_GE(s.blocked_lu_nnz(), 2 * scalar_l - a.rows());
+}
+
+TEST(BlockPattern, LastSupernodeHasEmptyBelow) {
+  const CsrMatrix a = make_grid2d(5, 5, Stencil2d::kFivePoint);
+  const auto s = analyze(a);
+  EXPECT_TRUE(s.below.back().empty());
+  EXPECT_EQ(s.panel_rows.back(), 0);
+}
+
+TEST(BlockPattern, RejectsBadPartition) {
+  const CsrMatrix a = make_banded(6, 1);
+  SupernodePartition bogus;
+  bogus.start = {0, 3};  // does not reach n
+  bogus.col_to_sn = {0, 0, 0, 0, 0, 0};
+  EXPECT_THROW(block_symbolic(a, bogus), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sptrsv

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "ordering/etree.hpp"
+#include "sparse/generators.hpp"
+#include "symbolic/colcounts.hpp"
+
+namespace sptrsv {
+namespace {
+
+/// Dense symbolic Cholesky reference: exact column counts of L.
+std::vector<Nnz> colcounts_reference(const CsrMatrix& a) {
+  const Idx n = a.rows();
+  std::vector<std::vector<bool>> f(static_cast<size_t>(n),
+                                   std::vector<bool>(static_cast<size_t>(n), false));
+  for (Idx i = 0; i < n; ++i) {
+    for (const Idx j : a.row_cols(i)) {
+      if (j <= i) f[static_cast<size_t>(i)][static_cast<size_t>(j)] = true;
+    }
+  }
+  for (Idx k = 0; k < n; ++k) {
+    for (Idx i = k + 1; i < n; ++i) {
+      if (!f[static_cast<size_t>(i)][static_cast<size_t>(k)]) continue;
+      for (Idx j = i; j < n; ++j) {
+        if (f[static_cast<size_t>(j)][static_cast<size_t>(k)]) {
+          f[static_cast<size_t>(j)][static_cast<size_t>(i)] = true;
+        }
+      }
+    }
+  }
+  std::vector<Nnz> count(static_cast<size_t>(n), 0);
+  for (Idx j = 0; j < n; ++j) {
+    for (Idx i = j; i < n; ++i) {
+      if (f[static_cast<size_t>(i)][static_cast<size_t>(j)]) ++count[static_cast<size_t>(j)];
+    }
+  }
+  return count;
+}
+
+TEST(ColCounts, MatchesReferenceOnGrid) {
+  const CsrMatrix a = make_grid2d(5, 5, Stencil2d::kFivePoint);
+  const auto parent = elimination_tree(a);
+  EXPECT_EQ(cholesky_col_counts(a, parent), colcounts_reference(a));
+}
+
+TEST(ColCounts, MatchesReferenceOnRandoms) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const CsrMatrix a = make_random_symmetric(50, 3.0, seed);
+    const auto parent = elimination_tree(a);
+    EXPECT_EQ(cholesky_col_counts(a, parent), colcounts_reference(a)) << "seed " << seed;
+  }
+}
+
+TEST(ColCounts, DiagonalMatrixIsAllOnes) {
+  CooMatrix coo;
+  coo.rows = coo.cols = 5;
+  for (Idx i = 0; i < 5; ++i) coo.add(i, i, 1.0);
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const auto parent = elimination_tree(a);
+  for (const Nnz c : cholesky_col_counts(a, parent)) EXPECT_EQ(c, 1);
+}
+
+TEST(ColCounts, TridiagonalCountsAreTwoExceptLast) {
+  const CsrMatrix a = make_banded(6, 1);
+  const auto parent = elimination_tree(a);
+  const auto counts = cholesky_col_counts(a, parent);
+  for (Idx j = 0; j < 5; ++j) EXPECT_EQ(counts[static_cast<size_t>(j)], 2);
+  EXPECT_EQ(counts[5], 1);
+}
+
+TEST(ColCounts, FactorNnzIsSumOfCounts) {
+  const CsrMatrix a = make_grid2d(6, 6, Stencil2d::kNinePoint);
+  const auto parent = elimination_tree(a);
+  const auto counts = cholesky_col_counts(a, parent);
+  Nnz sum = 0;
+  for (const Nnz c : counts) sum += c;
+  EXPECT_EQ(cholesky_factor_nnz(a, parent), sum);
+  EXPECT_GE(sum, a.nnz() / 2);  // factor at least as dense as the lower triangle
+}
+
+}  // namespace
+}  // namespace sptrsv

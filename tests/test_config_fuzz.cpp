@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/sptrsv3d.hpp"
+#include "factor/sptrsv_seq.hpp"
+#include "sparse/generators.hpp"
+
+namespace sptrsv {
+namespace {
+
+/// Randomized sweep over the pipeline's configuration space: supernode
+/// width caps, relaxation, ND depth, grid shapes, algorithms, and RHS
+/// counts, all checked against the sequential solver. Catches interactions
+/// (e.g. scalar supernodes with wide grids, deep trees with tiny leaves)
+/// that the targeted tests do not.
+
+struct FuzzCase {
+  std::uint64_t seed;
+  Idx max_width;
+  Idx relax;
+  int nd_levels;
+  Grid3dShape shape;
+  Algorithm3d alg;
+  Idx nrhs;
+  std::string name;
+};
+
+std::vector<FuzzCase> make_cases() {
+  std::vector<FuzzCase> cases;
+  std::mt19937_64 rng(0xF00D);
+  const std::vector<Grid3dShape> shapes{{1, 1, 2}, {2, 1, 4}, {1, 3, 2},
+                                        {2, 2, 2}, {3, 2, 1}, {1, 1, 8}};
+  for (int i = 0; i < 12; ++i) {
+    FuzzCase c;
+    c.seed = rng();
+    c.max_width = std::uniform_int_distribution<Idx>(1, 40)(rng);
+    c.relax = std::uniform_int_distribution<Idx>(0, 12)(rng);
+    c.nd_levels = std::uniform_int_distribution<int>(3, 4)(rng);
+    c.shape = shapes[static_cast<size_t>(
+        std::uniform_int_distribution<int>(0, static_cast<int>(shapes.size()) - 1)(rng))];
+    c.alg = (i % 2 == 0) ? Algorithm3d::kProposed : Algorithm3d::kBaseline;
+    c.nrhs = std::uniform_int_distribution<Idx>(1, 3)(rng);
+    c.name = "case" + std::to_string(i) + "_w" + std::to_string(c.max_width) + "_r" +
+             std::to_string(c.relax) + "_p" + std::to_string(c.shape.px) + "x" +
+             std::to_string(c.shape.py) + "x" + std::to_string(c.shape.pz) +
+             (c.alg == Algorithm3d::kProposed ? "_new" : "_base");
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+class ConfigFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(ConfigFuzzTest, DistributedMatchesSequential) {
+  const FuzzCase& c = GetParam();
+  const CsrMatrix a = make_grid2d(14, 14, Stencil2d::kNinePoint, {.seed = c.seed});
+
+  AnalyzeOptions aopt;
+  aopt.nd.levels = c.nd_levels;
+  aopt.supernode.max_width = c.max_width;
+  aopt.supernode.relax_width = c.relax;
+  const FactoredSystem fs = analyze_and_factor(a, aopt);
+
+  std::mt19937_64 rng(c.seed ^ 1);
+  std::uniform_real_distribution<Real> uni(-1.0, 1.0);
+  std::vector<Real> b(static_cast<size_t>(a.rows()) * c.nrhs);
+  for (auto& v : b) v = uni(rng);
+
+  SolveConfig cfg;
+  cfg.shape = c.shape;
+  cfg.algorithm = c.alg;
+  cfg.nrhs = c.nrhs;
+  const DistSolveOutcome out = solve_system_3d(fs, b, cfg, MachineModel::cori_haswell());
+  const auto ref = solve_system_seq(fs, b, c.nrhs);
+  Real worst = 0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    worst = std::max(worst, std::abs(out.x[i] - ref[i]));
+  }
+  EXPECT_LT(worst, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConfigFuzzTest, ::testing::ValuesIn(make_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace sptrsv

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sparse/csr.hpp"
+
+namespace sptrsv {
+namespace {
+
+CooMatrix small_coo() {
+  CooMatrix coo;
+  coo.rows = coo.cols = 4;
+  coo.add(0, 0, 2.0);
+  coo.add(1, 1, 3.0);
+  coo.add(2, 2, 4.0);
+  coo.add(3, 3, 5.0);
+  coo.add(0, 2, 1.0);
+  coo.add(2, 0, -1.0);
+  coo.add(3, 1, 0.5);
+  return coo;
+}
+
+TEST(Csr, FromCooSortsAndStores) {
+  const CsrMatrix m = CsrMatrix::from_coo(small_coo());
+  EXPECT_EQ(m.rows(), 4);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.nnz(), 7);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);
+  EXPECT_TRUE(m.has_entry(3, 1));
+  EXPECT_FALSE(m.has_entry(1, 3));
+}
+
+TEST(Csr, DuplicatesAreSummed) {
+  CooMatrix coo;
+  coo.rows = coo.cols = 2;
+  coo.add(0, 1, 1.5);
+  coo.add(0, 1, 2.5);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 4.0);
+}
+
+TEST(Csr, RowsAreSorted) {
+  const CsrMatrix m = CsrMatrix::from_coo(small_coo());
+  for (Idx r = 0; r < m.rows(); ++r) {
+    const auto cs = m.row_cols(r);
+    for (size_t i = 1; i < cs.size(); ++i) EXPECT_LT(cs[i - 1], cs[i]);
+  }
+}
+
+TEST(Csr, OutOfRangeEntryThrows) {
+  CooMatrix coo;
+  coo.rows = coo.cols = 2;
+  coo.add(0, 5, 1.0);
+  EXPECT_THROW(CsrMatrix::from_coo(coo), std::out_of_range);
+}
+
+TEST(Csr, FromRawValidates) {
+  EXPECT_NO_THROW(CsrMatrix::from_raw(2, 2, {0, 1, 2}, {0, 1}, {1.0, 1.0}));
+  // rowptr/colidx mismatch
+  EXPECT_THROW(CsrMatrix::from_raw(2, 2, {0, 1, 3}, {0, 1}, {1.0, 1.0}),
+               std::invalid_argument);
+  // unsorted columns
+  EXPECT_THROW(CsrMatrix::from_raw(1, 3, {0, 2}, {2, 0}, {1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Csr, Transpose) {
+  const CsrMatrix m = CsrMatrix::from_coo(small_coo());
+  const CsrMatrix t = m.transposed();
+  for (Idx r = 0; r < m.rows(); ++r) {
+    for (Idx c = 0; c < m.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(m.at(r, c), t.at(c, r));
+    }
+  }
+}
+
+TEST(Csr, TransposeTwiceIsIdentity) {
+  const CsrMatrix m = CsrMatrix::from_coo(small_coo());
+  const CsrMatrix tt = m.transposed().transposed();
+  EXPECT_EQ(tt.nnz(), m.nnz());
+  for (Idx r = 0; r < m.rows(); ++r) {
+    for (Idx c = 0; c < m.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(m.at(r, c), tt.at(r, c));
+    }
+  }
+}
+
+TEST(Csr, SymmetrizedPattern) {
+  const CsrMatrix m = CsrMatrix::from_coo(small_coo());
+  EXPECT_FALSE(m.has_symmetric_pattern());  // (3,1) has no (1,3)
+  const CsrMatrix s = m.symmetrized_pattern();
+  EXPECT_TRUE(s.has_symmetric_pattern());
+  // Original values preserved; mirror entries are structural zeros.
+  EXPECT_DOUBLE_EQ(s.at(3, 1), 0.5);
+  EXPECT_DOUBLE_EQ(s.at(1, 3), 0.0);
+  EXPECT_TRUE(s.has_entry(1, 3));
+  EXPECT_DOUBLE_EQ(s.at(0, 2), 1.0);
+}
+
+TEST(Csr, PermutedSymmetric) {
+  const CsrMatrix m = CsrMatrix::from_coo(small_coo());
+  const std::vector<Idx> perm{2, 0, 3, 1};  // new -> old
+  const CsrMatrix p = m.permuted_symmetric(perm);
+  for (Idx i = 0; i < 4; ++i) {
+    for (Idx j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(p.at(i, j), m.at(perm[static_cast<size_t>(i)],
+                                        perm[static_cast<size_t>(j)]));
+    }
+  }
+}
+
+TEST(Csr, IdentityPermutationIsNoop) {
+  const CsrMatrix m = CsrMatrix::from_coo(small_coo());
+  std::vector<Idx> perm(4);
+  std::iota(perm.begin(), perm.end(), 0);
+  const CsrMatrix p = m.permuted_symmetric(perm);
+  EXPECT_EQ(p.nnz(), m.nnz());
+  for (Idx i = 0; i < 4; ++i) {
+    for (Idx j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(p.at(i, j), m.at(i, j));
+  }
+}
+
+TEST(Csr, Matvec) {
+  const CsrMatrix m = CsrMatrix::from_coo(small_coo());
+  const std::vector<Real> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<Real> y(4);
+  m.matvec(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0 * 1 + 1.0 * 3);
+  EXPECT_DOUBLE_EQ(y[1], 3.0 * 2);
+  EXPECT_DOUBLE_EQ(y[2], -1.0 * 1 + 4.0 * 3);
+  EXPECT_DOUBLE_EQ(y[3], 0.5 * 2 + 5.0 * 4);
+}
+
+TEST(Csr, MatmulMultiRhsMatchesRepeatedMatvec) {
+  const CsrMatrix m = CsrMatrix::from_coo(small_coo());
+  std::vector<Real> x(8);
+  std::iota(x.begin(), x.end(), 1.0);
+  std::vector<Real> y(8);
+  m.matmul(x, y, 2);
+  for (Idx j = 0; j < 2; ++j) {
+    std::vector<Real> yj(4);
+    m.matvec(std::span<const Real>(x).subspan(static_cast<size_t>(j) * 4, 4), yj);
+    for (Idx i = 0; i < 4; ++i) {
+      EXPECT_DOUBLE_EQ(y[static_cast<size_t>(j) * 4 + i], yj[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+TEST(Csr, MakeDiagonallyDominant) {
+  CooMatrix coo = small_coo();
+  CsrMatrix m = CsrMatrix::from_coo(coo);
+  m.make_diagonally_dominant(1.0, 1.0);
+  for (Idx r = 0; r < m.rows(); ++r) {
+    Real offdiag = 0;
+    const auto cs = m.row_cols(r);
+    const auto vs = m.row_vals(r);
+    for (size_t i = 0; i < cs.size(); ++i) {
+      if (cs[i] != r) offdiag += std::abs(vs[i]);
+    }
+    EXPECT_GT(m.at(r, r), offdiag);
+  }
+}
+
+TEST(Csr, MissingDiagonalDetected) {
+  CooMatrix coo;
+  coo.rows = coo.cols = 2;
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1, 1.0);
+  CsrMatrix m = CsrMatrix::from_coo(coo);
+  EXPECT_FALSE(m.has_full_diagonal());
+  EXPECT_THROW(m.make_diagonally_dominant(), std::logic_error);
+}
+
+TEST(Permutation, InvertAndValidate) {
+  const std::vector<Idx> perm{2, 0, 3, 1};
+  EXPECT_TRUE(is_permutation(perm));
+  const std::vector<Idx> inv = invert_permutation(perm);
+  for (size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(inv[static_cast<size_t>(perm[i])], static_cast<Idx>(i));
+  }
+  EXPECT_FALSE(is_permutation(std::vector<Idx>{0, 0, 1, 2}));
+  EXPECT_FALSE(is_permutation(std::vector<Idx>{0, 4, 1, 2}));
+}
+
+}  // namespace
+}  // namespace sptrsv

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "sparse/csr.hpp"
+
+namespace sptrsv {
+namespace {
+
+/// Property fuzz of the CSR builder against a std::map reference model:
+/// arbitrary triplet streams (duplicates, any order) must compress to the
+/// same (row, col) -> summed-value relation, and the structural operations
+/// must agree with brute force.
+
+struct Model {
+  Idx rows, cols;
+  std::map<std::pair<Idx, Idx>, Real> entries;
+};
+
+Model random_model(std::mt19937_64& rng, CooMatrix& coo) {
+  std::uniform_int_distribution<Idx> dim(1, 30);
+  Model m;
+  m.rows = dim(rng);
+  m.cols = dim(rng);
+  coo.rows = m.rows;
+  coo.cols = m.cols;
+  std::uniform_int_distribution<Idx> ri(0, m.rows - 1), ci(0, m.cols - 1);
+  std::uniform_real_distribution<Real> val(-2.0, 2.0);
+  std::uniform_int_distribution<int> count(0, 120);
+  const int n = count(rng);
+  for (int e = 0; e < n; ++e) {
+    const Idx r = ri(rng), c = ci(rng);
+    const Real v = val(rng);
+    coo.add(r, c, v);
+    m.entries[{r, c}] += v;
+  }
+  return m;
+}
+
+TEST(CsrFuzz, FromCooMatchesMapModel) {
+  std::mt19937_64 rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    CooMatrix coo;
+    const Model m = random_model(rng, coo);
+    const CsrMatrix a = CsrMatrix::from_coo(coo);
+    ASSERT_EQ(a.rows(), m.rows);
+    ASSERT_EQ(a.cols(), m.cols);
+    ASSERT_EQ(a.nnz(), static_cast<Nnz>(m.entries.size())) << "trial " << trial;
+    for (const auto& [rc, v] : m.entries) {
+      EXPECT_NEAR(a.at(rc.first, rc.second), v, 1e-12);
+    }
+  }
+}
+
+TEST(CsrFuzz, TransposeAgainstModel) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    CooMatrix coo;
+    const Model m = random_model(rng, coo);
+    const CsrMatrix t = CsrMatrix::from_coo(coo).transposed();
+    ASSERT_EQ(t.nnz(), static_cast<Nnz>(m.entries.size()));
+    for (const auto& [rc, v] : m.entries) {
+      EXPECT_NEAR(t.at(rc.second, rc.first), v, 1e-12);
+    }
+  }
+}
+
+TEST(CsrFuzz, SymmetrizeUnionAgainstModel) {
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    CooMatrix coo;
+    Model m = random_model(rng, coo);
+    if (m.rows != m.cols) continue;  // symmetrize requires square use here
+    const CsrMatrix s = CsrMatrix::from_coo(coo).symmetrized_pattern();
+    // Pattern = union of entries and their transposes; values preserved.
+    std::map<std::pair<Idx, Idx>, Real> expect;
+    for (const auto& [rc, v] : m.entries) {
+      expect[{rc.first, rc.second}] += v;
+      expect.try_emplace({rc.second, rc.first}, 0.0);
+    }
+    ASSERT_EQ(s.nnz(), static_cast<Nnz>(expect.size())) << "trial " << trial;
+    for (const auto& [rc, v] : expect) {
+      EXPECT_NEAR(s.at(rc.first, rc.second), v, 1e-12);
+    }
+  }
+}
+
+TEST(CsrFuzz, PermutationRoundTrips) {
+  std::mt19937_64 rng(4242);
+  for (int trial = 0; trial < 30; ++trial) {
+    CooMatrix coo;
+    Model m = random_model(rng, coo);
+    if (m.rows != m.cols) continue;
+    for (Idx i = 0; i < m.rows; ++i) coo.add(i, i, 1.0);  // square w/ diagonal
+    const CsrMatrix a = CsrMatrix::from_coo(coo);
+    std::vector<Idx> perm(static_cast<size_t>(m.rows));
+    std::iota(perm.begin(), perm.end(), 0);
+    std::shuffle(perm.begin(), perm.end(), rng);
+    const CsrMatrix p = a.permuted_symmetric(perm);
+    const CsrMatrix back = p.permuted_symmetric(invert_permutation(perm));
+    ASSERT_EQ(back.nnz(), a.nnz());
+    for (Idx r = 0; r < m.rows; ++r) {
+      const auto av = a.row_vals(r);
+      const auto bv = back.row_vals(r);
+      const auto ac = a.row_cols(r);
+      const auto bc = back.row_cols(r);
+      for (size_t i = 0; i < av.size(); ++i) {
+        EXPECT_EQ(ac[i], bc[i]);
+        EXPECT_DOUBLE_EQ(av[i], bv[i]);
+      }
+    }
+  }
+}
+
+TEST(CsrFuzz, MatvecAgainstModel) {
+  std::mt19937_64 rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    CooMatrix coo;
+    const Model m = random_model(rng, coo);
+    const CsrMatrix a = CsrMatrix::from_coo(coo);
+    std::uniform_real_distribution<Real> val(-1.0, 1.0);
+    std::vector<Real> x(static_cast<size_t>(m.cols));
+    for (auto& v : x) v = val(rng);
+    std::vector<Real> y(static_cast<size_t>(m.rows));
+    a.matvec(x, y);
+    std::vector<Real> expect(static_cast<size_t>(m.rows), 0.0);
+    for (const auto& [rc, v] : m.entries) {
+      expect[static_cast<size_t>(rc.first)] += v * x[static_cast<size_t>(rc.second)];
+    }
+    for (Idx r = 0; r < m.rows; ++r) {
+      EXPECT_NEAR(y[static_cast<size_t>(r)], expect[static_cast<size_t>(r)], 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sptrsv

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/sptrsv3d.hpp"
+#include "factor/sptrsv_seq.hpp"
+#include "gpusim/gpu_sptrsv.hpp"
+#include "sparse/generators.hpp"
+
+namespace sptrsv {
+namespace {
+
+/// Degenerate inputs through the whole pipeline: 1x1 systems, single
+/// supernodes, empty patterns, more ranks than supernodes.
+
+CsrMatrix one_by_one() {
+  CooMatrix coo;
+  coo.rows = coo.cols = 1;
+  coo.add(0, 0, 4.0);
+  return CsrMatrix::from_coo(coo);
+}
+
+TEST(EdgeCases, OneByOneSystemEndToEnd) {
+  const CsrMatrix a = one_by_one();
+  const FactoredSystem fs = analyze_and_factor(a, 0);
+  const std::vector<Real> b{8.0};
+  const auto x = solve_system_seq(fs, b);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+
+  SolveConfig cfg;
+  cfg.shape = {1, 1, 1};
+  const auto out = solve_system_3d(fs, b, cfg, MachineModel::cori_haswell());
+  EXPECT_DOUBLE_EQ(out.x[0], 2.0);
+}
+
+TEST(EdgeCases, MoreRanksThanSupernodes) {
+  // A 3x3 grid has ~4-9 supernodes; run it on 36 ranks — most ranks own
+  // nothing and must still terminate.
+  const CsrMatrix a = make_grid2d(3, 3, Stencil2d::kFivePoint);
+  const FactoredSystem fs = analyze_and_factor(a, 1);
+  std::vector<Real> b(static_cast<size_t>(a.rows()), 1.0);
+  SolveConfig cfg;
+  cfg.shape = {3, 6, 2};
+  const auto out = solve_system_3d(fs, b, cfg, MachineModel::cori_haswell());
+  EXPECT_LT(relative_residual(a, out.x, b), 1e-10);
+}
+
+TEST(EdgeCases, DiagonalOnlyMatrixDistributed) {
+  CooMatrix coo;
+  coo.rows = coo.cols = 16;
+  for (Idx i = 0; i < 16; ++i) coo.add(i, i, static_cast<Real>(i + 1));
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const FactoredSystem fs = analyze_and_factor(a, 2);
+  std::vector<Real> b(16, 1.0);
+  for (const auto alg : {Algorithm3d::kProposed, Algorithm3d::kBaseline}) {
+    SolveConfig cfg;
+    cfg.shape = {2, 2, 4};
+    cfg.algorithm = alg;
+    const auto out = solve_system_3d(fs, b, cfg, MachineModel::cori_haswell());
+    EXPECT_LT(relative_residual(a, out.x, b), 1e-12);
+  }
+}
+
+TEST(EdgeCases, GpuModelOnTinySystem) {
+  const CsrMatrix a = make_grid2d(3, 3, Stencil2d::kFivePoint);
+  const FactoredSystem fs = analyze_and_factor(a, 1);
+  GpuSolveConfig cfg;
+  cfg.shape = {2, 1, 2};
+  const auto t = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, MachineModel::perlmutter());
+  EXPECT_GT(t.total, 0);
+  EXPECT_TRUE(std::isfinite(t.total));
+}
+
+TEST(EdgeCases, ZeroRhsGivesZeroSolution) {
+  const CsrMatrix a = make_grid2d(6, 6, Stencil2d::kNinePoint);
+  const FactoredSystem fs = analyze_and_factor(a, 2);
+  std::vector<Real> b(static_cast<size_t>(a.rows()), 0.0);
+  SolveConfig cfg;
+  cfg.shape = {2, 2, 2};
+  const auto out = solve_system_3d(fs, b, cfg, MachineModel::cori_haswell());
+  for (const Real v : out.x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(EdgeCases, SingleColumnGridMatrix) {
+  // 1 x n grid: a path graph — maximal chain, minimal parallelism.
+  const CsrMatrix a = make_grid2d(1, 40, Stencil2d::kFivePoint);
+  const FactoredSystem fs = analyze_and_factor(a, 2);
+  std::vector<Real> b(40, 1.0);
+  SolveConfig cfg;
+  cfg.shape = {2, 1, 4};
+  const auto out = solve_system_3d(fs, b, cfg, MachineModel::cori_haswell());
+  EXPECT_LT(relative_residual(a, out.x, b), 1e-10);
+}
+
+}  // namespace
+}  // namespace sptrsv

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/generators.hpp"
+#include "sparse/paper_matrices.hpp"
+
+namespace sptrsv {
+namespace {
+
+void expect_solver_ready(const CsrMatrix& m) {
+  EXPECT_EQ(m.rows(), m.cols());
+  EXPECT_TRUE(m.has_symmetric_pattern());
+  EXPECT_TRUE(m.has_full_diagonal());
+  // Diagonal dominance (what makes unpivoted LU safe).
+  for (Idx r = 0; r < m.rows(); ++r) {
+    Real offdiag = 0;
+    const auto cs = m.row_cols(r);
+    const auto vs = m.row_vals(r);
+    for (size_t i = 0; i < cs.size(); ++i) {
+      if (cs[i] != r) offdiag += std::abs(vs[i]);
+    }
+    ASSERT_GT(m.at(r, r), offdiag) << "row " << r;
+  }
+}
+
+TEST(Generators, Grid2dFivePointShape) {
+  const CsrMatrix m = make_grid2d(4, 3, Stencil2d::kFivePoint);
+  EXPECT_EQ(m.rows(), 12);
+  expect_solver_ready(m);
+  // Interior node (1,1) = id 5 has 4 neighbours + diagonal.
+  EXPECT_EQ(m.row_cols(5).size(), 5u);
+  // Corner node 0 has 2 neighbours + diagonal.
+  EXPECT_EQ(m.row_cols(0).size(), 3u);
+}
+
+TEST(Generators, Grid2dNinePointShape) {
+  const CsrMatrix m = make_grid2d(4, 4, Stencil2d::kNinePoint);
+  expect_solver_ready(m);
+  // Interior node (1,1) = id 5 has 8 neighbours + diagonal.
+  EXPECT_EQ(m.row_cols(5).size(), 9u);
+}
+
+TEST(Generators, Grid2dMultiDof) {
+  const CsrMatrix m = make_grid2d(3, 3, Stencil2d::kFivePoint, {.dofs_per_node = 3});
+  EXPECT_EQ(m.rows(), 27);
+  expect_solver_ready(m);
+  // All dofs of adjacent nodes are coupled: interior node has
+  // (4 neighbours + self) * 3 dofs columns.
+  EXPECT_EQ(m.row_cols(4 * 3).size(), 15u);
+}
+
+TEST(Generators, Grid3dSevenPointShape) {
+  const CsrMatrix m = make_grid3d(3, 3, 3, Stencil3d::kSevenPoint);
+  EXPECT_EQ(m.rows(), 27);
+  expect_solver_ready(m);
+  // Center node (1,1,1) = id 13 has 6 neighbours + diagonal.
+  EXPECT_EQ(m.row_cols(13).size(), 7u);
+}
+
+TEST(Generators, Grid3dTwentySevenPointShape) {
+  const CsrMatrix m = make_grid3d(3, 3, 3, Stencil3d::kTwentySevenPoint);
+  expect_solver_ready(m);
+  // Center node has 26 neighbours + diagonal.
+  EXPECT_EQ(m.row_cols(13).size(), 27u);
+}
+
+TEST(Generators, RandomGeometricIsSolverReady) {
+  const CsrMatrix m = make_random_geometric(300, 8.0, 2.0, 7);
+  EXPECT_EQ(m.rows(), 300);
+  expect_solver_ready(m);
+  EXPECT_GT(m.nnz(), 300);  // has off-diagonal entries
+}
+
+TEST(Generators, RandomSymmetricDeterministicInSeed) {
+  const CsrMatrix a = make_random_symmetric(100, 4.0, 99);
+  const CsrMatrix b = make_random_symmetric(100, 4.0, 99);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (Idx r = 0; r < a.rows(); ++r) {
+    const auto av = a.row_vals(r);
+    const auto bv = b.row_vals(r);
+    for (size_t i = 0; i < av.size(); ++i) EXPECT_DOUBLE_EQ(av[i], bv[i]);
+  }
+  const CsrMatrix c = make_random_symmetric(100, 4.0, 100);
+  EXPECT_NE(a.nnz(), c.nnz());  // different seed, different matrix (overwhelmingly)
+}
+
+TEST(Generators, BandedShape) {
+  const CsrMatrix m = make_banded(10, 2);
+  expect_solver_ready(m);
+  EXPECT_EQ(m.row_cols(5).size(), 5u);  // bw 2 each side + diag
+  EXPECT_EQ(m.row_cols(0).size(), 3u);
+}
+
+TEST(Generators, InvalidArgumentsThrow) {
+  EXPECT_THROW(make_grid2d(0, 3, Stencil2d::kFivePoint), std::invalid_argument);
+  EXPECT_THROW(make_grid3d(2, -1, 2, Stencil3d::kSevenPoint), std::invalid_argument);
+  EXPECT_THROW(make_random_geometric(0, 4.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(make_banded(4, -1), std::invalid_argument);
+}
+
+class PaperMatrixTest : public ::testing::TestWithParam<PaperMatrix> {};
+
+TEST_P(PaperMatrixTest, TinyInstanceIsSolverReady) {
+  const CsrMatrix m = make_paper_matrix(GetParam(), MatrixScale::kTiny);
+  expect_solver_ready(m);
+  EXPECT_GE(m.rows(), 100);  // big enough to be meaningful
+}
+
+TEST_P(PaperMatrixTest, ScalesGrow) {
+  const CsrMatrix tiny = make_paper_matrix(GetParam(), MatrixScale::kTiny);
+  const CsrMatrix small = make_paper_matrix(GetParam(), MatrixScale::kSmall);
+  EXPECT_GT(small.rows(), tiny.rows());
+}
+
+TEST_P(PaperMatrixTest, HasNameAndDescription) {
+  EXPECT_FALSE(paper_matrix_name(GetParam()).empty());
+  EXPECT_FALSE(paper_matrix_description(GetParam()).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperMatrices, PaperMatrixTest,
+                         ::testing::ValuesIn(all_paper_matrices()),
+                         [](const auto& info) { return paper_matrix_name(info.param); });
+
+}  // namespace
+}  // namespace sptrsv

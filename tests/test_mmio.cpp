@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/generators.hpp"
+#include "sparse/mmio.hpp"
+
+namespace sptrsv {
+namespace {
+
+TEST(Mmio, RoundTripGeneral) {
+  const CsrMatrix m = make_grid2d(4, 4, Stencil2d::kNinePoint);
+  std::stringstream s;
+  write_matrix_market(s, m);
+  const CsrMatrix r = read_matrix_market(s);
+  ASSERT_EQ(r.rows(), m.rows());
+  ASSERT_EQ(r.nnz(), m.nnz());
+  for (Idx i = 0; i < m.rows(); ++i) {
+    const auto mv = m.row_vals(i);
+    const auto rv = r.row_vals(i);
+    for (size_t k = 0; k < mv.size(); ++k) EXPECT_DOUBLE_EQ(mv[k], rv[k]);
+  }
+}
+
+TEST(Mmio, ReadsSymmetricExpanded) {
+  std::stringstream s;
+  s << "%%MatrixMarket matrix coordinate real symmetric\n"
+    << "% a comment line\n"
+    << "3 3 4\n"
+    << "1 1 2.0\n"
+    << "2 1 -1.0\n"
+    << "2 2 2.0\n"
+    << "3 3 2.0\n";
+  const CsrMatrix m = read_matrix_market(s);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.nnz(), 5);  // (2,1) mirrored to (1,2)
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+  EXPECT_TRUE(m.has_symmetric_pattern());
+}
+
+TEST(Mmio, RejectsUnsupportedHeader) {
+  std::stringstream s;
+  s << "%%MatrixMarket matrix array real general\n1 1\n1.0\n";
+  EXPECT_THROW(read_matrix_market(s), std::runtime_error);
+}
+
+TEST(Mmio, RejectsTruncatedEntries) {
+  std::stringstream s;
+  s << "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1.0\n";
+  EXPECT_THROW(read_matrix_market(s), std::runtime_error);
+}
+
+TEST(Mmio, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/file.mtx"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sptrsv

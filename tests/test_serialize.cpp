@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "core/sptrsv3d.hpp"
+#include "factor/serialize.hpp"
+#include "factor/sptrsv_seq.hpp"
+#include "sparse/paper_matrices.hpp"
+
+namespace sptrsv {
+namespace {
+
+FactoredSystem make_system() {
+  return analyze_and_factor(
+      make_paper_matrix(PaperMatrix::kS2D9pt2048, MatrixScale::kTiny), 2);
+}
+
+TEST(Serialize, RoundTripPreservesSolves) {
+  const CsrMatrix a = make_paper_matrix(PaperMatrix::kS2D9pt2048, MatrixScale::kTiny);
+  const FactoredSystem fs = make_system();
+
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  save_factored_system(stream, fs);
+  const FactoredSystem loaded = load_factored_system(stream);
+
+  EXPECT_EQ(loaded.perm, fs.perm);
+  EXPECT_EQ(loaded.lu.num_supernodes(), fs.lu.num_supernodes());
+  EXPECT_EQ(loaded.tree.levels(), fs.tree.levels());
+
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<Real> uni(-1.0, 1.0);
+  std::vector<Real> b(static_cast<size_t>(a.rows()));
+  for (auto& v : b) v = uni(rng);
+  const auto x_orig = solve_system_seq(fs, b);
+  const auto x_loaded = solve_system_seq(loaded, b);
+  for (size_t i = 0; i < x_orig.size(); ++i) {
+    EXPECT_DOUBLE_EQ(x_orig[i], x_loaded[i]);  // bitwise-identical factors
+  }
+}
+
+TEST(Serialize, LoadedSystemRunsDistributedSolve) {
+  const CsrMatrix a = make_paper_matrix(PaperMatrix::kS2D9pt2048, MatrixScale::kTiny);
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  save_factored_system(stream, make_system());
+  const FactoredSystem loaded = load_factored_system(stream);
+
+  std::vector<Real> b(static_cast<size_t>(a.rows()), 1.0);
+  SolveConfig cfg;
+  cfg.shape = {2, 2, 4};
+  const auto out = solve_system_3d(loaded, b, cfg, MachineModel::cori_haswell());
+  EXPECT_LT(relative_residual(a, out.x, b), 1e-10);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  stream << "not a factored system at all";
+  EXPECT_THROW(load_factored_system(stream), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  save_factored_system(full, make_system());
+  const std::string bytes = full.str();
+  std::stringstream cut(std::ios::in | std::ios::out | std::ios::binary);
+  cut << bytes.substr(0, bytes.size() / 2);
+  EXPECT_THROW(load_factored_system(cut), std::runtime_error);
+}
+
+TEST(Serialize, RejectsCorruptInterior) {
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  save_factored_system(full, make_system());
+  std::string bytes = full.str();
+  // Flip bytes in the symbolic region (after the header + perm).
+  for (size_t i = 200; i < 240 && i < bytes.size(); ++i) bytes[i] ^= 0x5A;
+  std::stringstream corrupt(std::ios::in | std::ios::out | std::ios::binary);
+  corrupt << bytes;
+  EXPECT_THROW(load_factored_system(corrupt), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const FactoredSystem fs = make_system();
+  const std::string path = "/tmp/sptrsv_serialize_test.bin";
+  save_factored_system_file(path, fs);
+  const FactoredSystem loaded = load_factored_system_file(path);
+  EXPECT_EQ(loaded.lu.n(), fs.lu.n());
+  std::remove(path.c_str());
+  EXPECT_THROW(load_factored_system_file("/nonexistent/x.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sptrsv

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "comm/sparse_allreduce.hpp"
+
+namespace sptrsv {
+namespace {
+
+/// Shape-only tracked tree (ranges unused by the allreduce).
+NdTree shape_tree(int levels) {
+  const Idx n_nodes = (Idx{1} << (levels + 1)) - 1;
+  std::vector<NdNode> nodes(static_cast<size_t>(n_nodes));
+  for (Idx id = 0; id < n_nodes; ++id) {
+    auto& nd = nodes[static_cast<size_t>(id)];
+    if (id > 0) nd.parent = (id - 1) / 2;
+    int d = 0;
+    for (Idx v = id; v > 0; v = (v - 1) / 2) ++d;
+    nd.depth = d;
+    if (d < levels) {
+      nd.left = 2 * id + 1;
+      nd.right = 2 * id + 2;
+    }
+  }
+  return NdTree(levels, std::move(nodes));
+}
+
+/// Length of node `id`'s subvector in the tests.
+size_t seg_len(Idx id) { return static_cast<size_t>(id % 3 + 1); }
+
+/// Value grid z contributes at position i of node `id`'s slice.
+Real contrib(int z, Idx id, size_t i) {
+  return static_cast<Real>(z * 100 + id * 10) + static_cast<Real>(i);
+}
+
+/// Runs either allreduce flavor on Pz grids and checks every grid ends with
+/// the full sums of its ancestors.
+void check_allreduce(int levels, bool dense) {
+  const NdTree tree = shape_tree(levels);
+  const int pz = tree.num_leaves();
+  Cluster::run(pz, MachineModel::cori_haswell(), [&](Comm& c) {
+    const int z = c.rank();
+    // My ancestors: path from my leaf, excluding the leaf itself.
+    std::vector<std::vector<Real>> storage;
+    std::vector<ReduceSegment> segs;
+    std::vector<Idx> my_nodes;
+    for (Idx id : tree.path_to_root(tree.leaf_node_id(z))) {
+      if (tree.node(id).depth >= tree.levels()) continue;
+      my_nodes.push_back(id);
+      auto& buf = storage.emplace_back(seg_len(id));
+      for (size_t i = 0; i < buf.size(); ++i) buf[i] = contrib(z, id, i);
+    }
+    for (size_t k = 0; k < my_nodes.size(); ++k) {
+      segs.push_back({my_nodes[k], storage[k]});
+    }
+    if (dense) {
+      dense_allreduce_per_node(c, tree, segs);
+    } else {
+      sparse_allreduce(c, tree, segs);
+    }
+    for (size_t k = 0; k < my_nodes.size(); ++k) {
+      const Idx id = my_nodes[k];
+      const auto [lo, hi] = tree.leaf_range(id);
+      for (size_t i = 0; i < storage[k].size(); ++i) {
+        Real expect = 0;
+        for (Idx g = lo; g < hi; ++g) expect += contrib(static_cast<int>(g), id, i);
+        EXPECT_NEAR(storage[k][i], expect, 1e-12)
+            << "grid " << z << " node " << id << " pos " << i;
+      }
+    }
+  });
+}
+
+TEST(SparseAllreduce, TwoGrids) { check_allreduce(1, false); }
+TEST(SparseAllreduce, FourGrids) { check_allreduce(2, false); }
+TEST(SparseAllreduce, EightGrids) { check_allreduce(3, false); }
+TEST(SparseAllreduce, SixteenGrids) { check_allreduce(4, false); }
+
+TEST(DenseAllreducePerNode, FourGrids) { check_allreduce(2, true); }
+TEST(DenseAllreducePerNode, EightGrids) { check_allreduce(3, true); }
+
+TEST(SparseAllreduce, SingleGridIsNoop) {
+  const NdTree tree = shape_tree(0);
+  Cluster::run(1, MachineModel::cori_haswell(), [&](Comm& c) {
+    std::vector<ReduceSegment> empty;
+    sparse_allreduce(c, tree, empty);
+    EXPECT_DOUBLE_EQ(c.category_time(TimeCategory::kZComm), 0.0);
+  });
+}
+
+TEST(SparseAllreduce, MessageCountIsLogarithmic) {
+  // Each grid sends/receives at most 2*levels messages; verify via the
+  // modeled Z-comm time: it must grow ~linearly in levels, not in Pz.
+  std::map<int, double> zcomm_time;
+  for (int levels = 1; levels <= 4; ++levels) {
+    const NdTree tree = shape_tree(levels);
+    const auto res =
+        Cluster::run(tree.num_leaves(), MachineModel::cori_haswell(), [&](Comm& c) {
+          std::vector<std::vector<Real>> storage;
+          std::vector<ReduceSegment> segs;
+          for (Idx id : tree.path_to_root(tree.leaf_node_id(c.rank()))) {
+            if (tree.node(id).depth >= tree.levels()) continue;
+            auto& buf = storage.emplace_back(4, 1.0);
+            segs.push_back({id, buf});
+          }
+          sparse_allreduce(c, tree, segs);
+        });
+    zcomm_time[levels] = res.max_category(TimeCategory::kZComm);
+  }
+  // Doubling the grid count (levels+1) must not double the time: growth is
+  // additive (one extra exchange), not multiplicative.
+  EXPECT_LT(zcomm_time[4], zcomm_time[1] * 4.5);
+  EXPECT_GT(zcomm_time[2], zcomm_time[1]);
+}
+
+TEST(SparseAllreduce, WrongCommSizeThrows) {
+  const NdTree tree = shape_tree(2);  // 4 leaves
+  EXPECT_THROW(Cluster::run(3, MachineModel::cori_haswell(),
+                            [&](Comm& c) {
+                              std::vector<ReduceSegment> empty;
+                              sparse_allreduce(c, tree, empty);
+                            }),
+               std::invalid_argument);
+}
+
+TEST(SparseAllreduce, NonAncestorSegmentThrows) {
+  const NdTree tree = shape_tree(2);
+  EXPECT_THROW(Cluster::run(4, MachineModel::cori_haswell(),
+                            [&](Comm& c) {
+                              std::vector<Real> buf(2, 1.0);
+                              // Node 1 is only an ancestor of grids 0,1.
+                              std::vector<ReduceSegment> segs{{1, buf}};
+                              if (c.rank() == 3) sparse_allreduce(c, tree, segs);
+                              c.barrier();
+                            }),
+               std::invalid_argument);
+}
+
+TEST(SparseAllreduce, SparseBeatsDensePerNodeInModeledTime) {
+  // The point of Algorithm 2: fewer, packed messages. Compare modeled
+  // Z-comm makespans on 8 grids.
+  const NdTree tree = shape_tree(3);
+  auto run = [&](bool dense) {
+    const auto res =
+        Cluster::run(tree.num_leaves(), MachineModel::cori_haswell(), [&](Comm& c) {
+          std::vector<std::vector<Real>> storage;
+          std::vector<ReduceSegment> segs;
+          for (Idx id : tree.path_to_root(tree.leaf_node_id(c.rank()))) {
+            if (tree.node(id).depth >= tree.levels()) continue;
+            auto& buf = storage.emplace_back(64, 1.0);
+            segs.push_back({id, buf});
+          }
+          if (dense) {
+            dense_allreduce_per_node(c, tree, segs);
+          } else {
+            sparse_allreduce(c, tree, segs);
+          }
+        });
+    return res.max_category(TimeCategory::kZComm);
+  };
+  EXPECT_LT(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace sptrsv

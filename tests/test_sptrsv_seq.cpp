@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "factor/sptrsv_seq.hpp"
+#include "ordering/etree.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/paper_matrices.hpp"
+#include "symbolic/colcounts.hpp"
+
+namespace sptrsv {
+namespace {
+
+std::vector<Real> random_rhs(Idx n, Idx nrhs, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<Real> uni(-1.0, 1.0);
+  std::vector<Real> b(static_cast<size_t>(n) * nrhs);
+  for (auto& v : b) v = uni(rng);
+  return b;
+}
+
+SupernodalLU factor(const CsrMatrix& a) {
+  const auto parent = elimination_tree(a);
+  const auto counts = cholesky_col_counts(a, parent);
+  return factor_supernodal(a, block_symbolic(a, find_supernodes(parent, counts)));
+}
+
+TEST(SptrsvSeq, SolvesBandedSystem) {
+  const CsrMatrix a = make_banded(30, 2);
+  const auto f = factor(a);
+  const auto b = random_rhs(30, 1, 1);
+  const auto x = solve_seq(f, b);
+  EXPECT_LT(relative_residual(a, x, b), 1e-12);
+}
+
+TEST(SptrsvSeq, SolvesGridSystem) {
+  const CsrMatrix a = make_grid2d(8, 8, Stencil2d::kNinePoint);
+  const auto f = factor(a);
+  const auto b = random_rhs(a.rows(), 1, 2);
+  const auto x = solve_seq(f, b);
+  EXPECT_LT(relative_residual(a, x, b), 1e-12);
+}
+
+TEST(SptrsvSeq, MultiRhsMatchesSingleRhsColumns) {
+  const CsrMatrix a = make_grid2d(6, 6, Stencil2d::kFivePoint);
+  const auto f = factor(a);
+  const Idx n = a.rows(), nrhs = 5;
+  const auto b = random_rhs(n, nrhs, 3);
+  const auto x = solve_seq(f, b, nrhs);
+  for (Idx j = 0; j < nrhs; ++j) {
+    const auto bj = std::span<const Real>(b).subspan(static_cast<size_t>(j) * n, static_cast<size_t>(n));
+    const auto xj = solve_seq(f, bj, 1);
+    for (Idx i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[static_cast<size_t>(j) * n + i], xj[static_cast<size_t>(i)], 1e-12);
+    }
+  }
+}
+
+TEST(SptrsvSeq, LSolveThenUSolveEqualsFullSolve) {
+  const CsrMatrix a = make_grid3d(3, 3, 3, Stencil3d::kSevenPoint);
+  const auto f = factor(a);
+  const auto b = random_rhs(a.rows(), 2, 4);
+  std::vector<Real> y(b.size()), x(b.size());
+  solve_l_seq(f, b, y, 2);
+  solve_u_seq(f, y, x, 2);
+  const auto x2 = solve_seq(f, b, 2);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(x[i], x2[i]);
+}
+
+TEST(SptrsvSeq, IdentityMatrixSolveIsIdentity) {
+  CooMatrix coo;
+  coo.rows = coo.cols = 5;
+  for (Idx i = 0; i < 5; ++i) coo.add(i, i, 1.0);
+  const auto f = factor(CsrMatrix::from_coo(coo));
+  const std::vector<Real> b{1, 2, 3, 4, 5};
+  const auto x = solve_seq(f, b);
+  for (Idx i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(x[static_cast<size_t>(i)], b[static_cast<size_t>(i)]);
+}
+
+TEST(SptrsvSeq, FullSystemSolveWithPermutation) {
+  const CsrMatrix a = make_paper_matrix(PaperMatrix::kS2D9pt2048, MatrixScale::kTiny);
+  const FactoredSystem fs = analyze_and_factor(a, 2);
+  const auto b = random_rhs(a.rows(), 1, 5);
+  const auto x = solve_system_seq(fs, b);
+  EXPECT_LT(relative_residual(a, x, b), 1e-11);
+}
+
+class PaperMatrixSolveTest : public ::testing::TestWithParam<PaperMatrix> {};
+
+TEST_P(PaperMatrixSolveTest, TinyInstanceSolves) {
+  const CsrMatrix a = make_paper_matrix(GetParam(), MatrixScale::kTiny);
+  const FactoredSystem fs = analyze_and_factor(a, 2);
+  const auto b = random_rhs(a.rows(), 3, 6);
+  const auto x = solve_system_seq(fs, b, 3);
+  EXPECT_LT(relative_residual(a, x, b, 3), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperMatrices, PaperMatrixSolveTest,
+                         ::testing::ValuesIn(all_paper_matrices()),
+                         [](const auto& info) { return paper_matrix_name(info.param); });
+
+TEST(SptrsvSeq, ResidualDetectsWrongSolution) {
+  const CsrMatrix a = make_banded(10, 1);
+  const auto b = random_rhs(10, 1, 7);
+  std::vector<Real> wrong(10, 0.0);
+  EXPECT_GT(relative_residual(a, wrong, b), 0.5);
+}
+
+}  // namespace
+}  // namespace sptrsv

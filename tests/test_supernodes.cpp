@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "ordering/etree.hpp"
+#include "sparse/generators.hpp"
+#include "symbolic/colcounts.hpp"
+#include "symbolic/supernodes.hpp"
+
+namespace sptrsv {
+namespace {
+
+SupernodePartition detect(const CsrMatrix& a, const SupernodeOptions& opt = {}) {
+  const auto parent = elimination_tree(a);
+  const auto counts = cholesky_col_counts(a, parent);
+  return find_supernodes(parent, counts, opt);
+}
+
+TEST(Supernodes, PartitionInvariants) {
+  const CsrMatrix a = make_grid2d(8, 8, Stencil2d::kNinePoint);
+  const auto part = detect(a);
+  EXPECT_TRUE(part.check_invariants(a.rows()));
+  EXPECT_GE(part.num_supernodes(), 1);
+}
+
+TEST(Supernodes, DenseMatrixIsOneSupernode) {
+  // A dense matrix's factor column counts decrease by exactly one per
+  // column and every parent is the next column, so the fundamental
+  // detection yields a single maximal supernode.
+  const CsrMatrix a = make_banded(16, 15);  // full bandwidth = dense
+  SupernodeOptions opt;
+  opt.relax_width = 0;
+  opt.max_width = 64;
+  const auto part = detect(a, opt);
+  EXPECT_EQ(part.num_supernodes(), 1);
+  EXPECT_EQ(part.width(0), 16);
+}
+
+TEST(Supernodes, DiagonalMatrixAllSingletonsWithoutRelaxation) {
+  CooMatrix coo;
+  coo.rows = coo.cols = 6;
+  for (Idx i = 0; i < 6; ++i) coo.add(i, i, 1.0);
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  SupernodeOptions opt;
+  opt.relax_width = 0;
+  const auto part = detect(a, opt);
+  EXPECT_EQ(part.num_supernodes(), 6);
+}
+
+TEST(Supernodes, MaxWidthIsRespected) {
+  const CsrMatrix a = make_banded(64, 8);
+  SupernodeOptions opt;
+  opt.max_width = 5;
+  const auto part = detect(a, opt);
+  for (Idx k = 0; k < part.num_supernodes(); ++k) {
+    EXPECT_LE(part.width(k), 5);
+  }
+  EXPECT_TRUE(part.check_invariants(a.rows()));
+}
+
+TEST(Supernodes, ForcedBreaksAreHonored) {
+  const CsrMatrix a = make_banded(20, 3);
+  SupernodeOptions opt;
+  opt.forced_breaks = {7, 13};
+  const auto part = detect(a, opt);
+  // 7 and 13 must be supernode starts.
+  bool saw7 = false, saw13 = false;
+  for (const Idx s : part.start) {
+    saw7 |= (s == 7);
+    saw13 |= (s == 13);
+  }
+  EXPECT_TRUE(saw7);
+  EXPECT_TRUE(saw13);
+}
+
+TEST(Supernodes, RelaxationMergesSingletonChains) {
+  // Tridiagonal: fundamental supernodes are width-2 at most (counts drop by
+  // one but parent chains); relaxation should merge more aggressively.
+  const CsrMatrix a = make_banded(24, 1);
+  SupernodeOptions strict;
+  strict.relax_width = 0;
+  SupernodeOptions relaxed;
+  relaxed.relax_width = 8;
+  relaxed.max_width = 8;
+  const auto p_strict = detect(a, strict);
+  const auto p_relaxed = detect(a, relaxed);
+  EXPECT_LT(p_relaxed.num_supernodes(), p_strict.num_supernodes());
+  EXPECT_TRUE(p_relaxed.check_invariants(a.rows()));
+}
+
+TEST(Supernodes, FundamentalConditionHolds) {
+  // Inside any detected supernode (without relaxation) every column chains.
+  const CsrMatrix a = make_grid2d(7, 7, Stencil2d::kFivePoint);
+  const auto parent = elimination_tree(a);
+  const auto counts = cholesky_col_counts(a, parent);
+  SupernodeOptions opt;
+  opt.relax_width = 0;
+  const auto part = find_supernodes(parent, counts, opt);
+  for (Idx k = 0; k < part.num_supernodes(); ++k) {
+    for (Idx j = part.first_col(k) + 1; j < part.first_col(k) + part.width(k); ++j) {
+      EXPECT_EQ(parent[static_cast<size_t>(j - 1)], j);
+      EXPECT_EQ(counts[static_cast<size_t>(j)], counts[static_cast<size_t>(j - 1)] - 1);
+    }
+  }
+}
+
+TEST(Supernodes, BadArgumentsThrow) {
+  const CsrMatrix a = make_banded(6, 1);
+  const auto parent = elimination_tree(a);
+  const auto counts = cholesky_col_counts(a, parent);
+  SupernodeOptions opt;
+  opt.max_width = 0;
+  EXPECT_THROW(find_supernodes(parent, counts, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sptrsv

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "comm/trees.hpp"
+
+namespace sptrsv {
+namespace {
+
+void expect_valid_tree(const CommTree& t, const std::vector<int>& members, int root) {
+  EXPECT_EQ(t.root(), root);
+  EXPECT_EQ(t.num_members(), static_cast<int>(members.size()));
+  EXPECT_EQ(t.parent_of(root), kNoIdx);
+  // Every non-root member has a parent, and parent/child lists agree.
+  std::set<int> reached{root};
+  for (const int m : members) {
+    EXPECT_TRUE(t.contains(m));
+    if (m == root) continue;
+    const int p = t.parent_of(m);
+    EXPECT_TRUE(t.contains(p));
+    bool found = false;
+    for (const int c : t.children_of(p)) found |= (c == m);
+    EXPECT_TRUE(found) << "member " << m << " missing from parent's children";
+  }
+  // Walking up from every member terminates at the root (no cycles).
+  for (const int m : members) {
+    int v = m;
+    int hops = 0;
+    while (v != root) {
+      v = t.parent_of(v);
+      ASSERT_LE(++hops, static_cast<int>(members.size()));
+    }
+  }
+  // Child count totals n-1 (spanning tree).
+  int edges = 0;
+  for (const int m : members) edges += t.num_children(m);
+  EXPECT_EQ(edges, static_cast<int>(members.size()) - 1);
+}
+
+TEST(CommTree, BinaryTreeValidSmall) {
+  const std::vector<int> members{3, 8, 1, 5, 9};
+  const auto t = CommTree::build(TreeKind::kBinary, members, 5);
+  expect_valid_tree(t, members, 5);
+}
+
+TEST(CommTree, BinaryDepthIsLogarithmic) {
+  std::vector<int> members(63);
+  std::iota(members.begin(), members.end(), 0);
+  const auto t = CommTree::build(TreeKind::kBinary, members, 0);
+  expect_valid_tree(t, members, 0);
+  EXPECT_EQ(t.depth(), 5);  // 63 nodes in a heap: depth 5
+  // Binary: at most 2 children.
+  for (const int m : members) EXPECT_LE(t.num_children(m), 2);
+}
+
+TEST(CommTree, FlatDepthIsOne) {
+  std::vector<int> members(17);
+  std::iota(members.begin(), members.end(), 10);
+  const auto t = CommTree::build(TreeKind::kFlat, members, 12);
+  expect_valid_tree(t, members, 12);
+  EXPECT_EQ(t.depth(), 1);
+  EXPECT_EQ(t.num_children(12), 16);
+}
+
+TEST(CommTree, SingletonTree) {
+  const auto t = CommTree::build(TreeKind::kBinary, std::vector<int>{4}, 4);
+  EXPECT_EQ(t.depth(), 0);
+  EXPECT_EQ(t.parent_of(4), kNoIdx);
+  EXPECT_TRUE(t.children_of(4).empty());
+}
+
+TEST(CommTree, NonMemberRootThrows) {
+  EXPECT_THROW(CommTree::build(TreeKind::kBinary, std::vector<int>{1, 2}, 3),
+               std::invalid_argument);
+}
+
+TEST(CommTree, NonMemberQueriesThrow) {
+  const auto t = CommTree::build(TreeKind::kBinary, std::vector<int>{1, 2}, 1);
+  EXPECT_THROW(t.parent_of(9), std::out_of_range);
+  EXPECT_THROW(t.children_of(9), std::out_of_range);
+}
+
+TEST(CommTree, DuplicateMembersCollapsed) {
+  const auto t = CommTree::build(TreeKind::kBinary, std::vector<int>{2, 2, 7, 7}, 7);
+  EXPECT_EQ(t.num_members(), 2);
+}
+
+TEST(CommTree, DeterministicAcrossBuilds) {
+  // Same member set in different input orders must give identical trees —
+  // every rank constructs its tree locally and they must agree.
+  const std::vector<int> a{9, 4, 6, 2, 0};
+  const std::vector<int> b{0, 2, 4, 6, 9};
+  const auto ta = CommTree::build(TreeKind::kBinary, a, 4);
+  const auto tb = CommTree::build(TreeKind::kBinary, b, 4);
+  for (const int m : a) {
+    EXPECT_EQ(ta.parent_of(m), tb.parent_of(m));
+  }
+}
+
+TEST(CommTree, MessageCountComparisonFlatVsBinary) {
+  // The optimization the paper integrates: the root's send count drops from
+  // O(P) to <= 2 with a binary tree.
+  std::vector<int> members(64);
+  std::iota(members.begin(), members.end(), 0);
+  const auto flat = CommTree::build(TreeKind::kFlat, members, 0);
+  const auto bin = CommTree::build(TreeKind::kBinary, members, 0);
+  EXPECT_EQ(flat.num_children(0), 63);
+  EXPECT_LE(bin.num_children(0), 2);
+  // Total depth trade-off: flat 1, binary log2(P).
+  EXPECT_LE(bin.depth(), 6);
+}
+
+}  // namespace
+}  // namespace sptrsv
