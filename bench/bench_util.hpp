@@ -36,6 +36,23 @@ inline MatrixScale bench_scale() {
   return small ? MatrixScale::kSmall : MatrixScale::kMedium;
 }
 
+/// SPTRSV_BENCH_DETERMINISTIC=1 runs every solve in the deterministic
+/// scheduler mode: slower (ranks serialize on the run token), but two runs
+/// of a bench print byte-identical tables (docs/DETERMINISM.md).
+inline RunOptions bench_run_options() {
+  const char* v = std::getenv("SPTRSV_BENCH_DETERMINISTIC");
+  RunOptions opts;
+  opts.deterministic = v != nullptr && v[0] != '\0' && v[0] != '0';
+  return opts;
+}
+
+/// Prints the reproducibility banner benches lead with.
+inline void print_mode_banner() {
+  if (bench_run_options().deterministic) {
+    std::printf("# deterministic scheduler: repeated runs are byte-identical\n");
+  }
+}
+
 /// Factorizes a paper matrix once and caches it across sweep points.
 class SystemCache {
  public:
@@ -78,6 +95,7 @@ inline DistSolveOutcome run_cpu(const FactoredSystem& fs, const Grid3dShape& sha
   cfg.tree = tree;
   cfg.nrhs = nrhs;
   cfg.sparse_zreduce = sparse_zreduce;
+  cfg.run = bench_run_options();
   const auto b = bench_rhs(fs.lu.n(), nrhs);
   return solve_system_3d(fs, b, cfg, machine);
 }

@@ -28,6 +28,7 @@ int main() {
   const MachineModel machine = MachineModel::cori_haswell();
   SystemCache cache;
 
+  print_mode_banner();
   std::printf("# Fig 4 — SpTRSV modeled time (s) on %s; P = Px*Py*Pz\n",
               machine.name.c_str());
   for (const PaperMatrix which : matrices) {

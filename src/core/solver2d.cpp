@@ -1,5 +1,6 @@
 #include "core/solver2d.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -32,11 +33,18 @@ LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_l
   LSolve2dResult result;
 
   // Per-row reduction state (only rows whose reduction tree I belong to).
+  // Contributions are *recorded* as they arrive but only *summed* when the
+  // row completes, in an order fixed by the plan — never by message arrival
+  // — so the FP result is bitwise reproducible (docs/DETERMINISM.md).
   struct RowState {
     std::vector<Real> lsum;
+    std::vector<std::pair<int, std::vector<Real>>> child_lsum;  // (src, partial)
     Idx pending = 0;
   };
   std::unordered_map<Idx, RowState> rowstate;  // key: row position
+  // y(K) for every column whose broadcast reached this rank; gemms against
+  // it are deferred to row completion.
+  std::unordered_map<Idx, std::vector<Real>> ycache;  // key: supernode
   int expected = 0;
 
   for (Idx rp = 0; rp < plan.num_rows(); ++rp) {
@@ -53,15 +61,6 @@ LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_l
     const int children = t.num_children(me);
     st.pending += children;
     expected += children;
-    if (t.root() == me) {
-      const auto it = lsum_in.find(i);
-      if (it != lsum_in.end()) {
-        if (it->second.size() != st.lsum.size()) {
-          throw std::invalid_argument("solve_l_2d: lsum_in size mismatch");
-        }
-        for (size_t v = 0; v < st.lsum.size(); ++v) st.lsum[v] += it->second[v];
-      }
-    }
     rowstate.emplace(rp, std::move(st));
   }
   for (Idx cp = 0; cp < plan.num_cols(); ++cp) {
@@ -81,23 +80,15 @@ LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_l
       grid.send(child, tag_base + 4 * static_cast<int>(k) + kKindYsol,
                 std::vector<Real>(yk.begin(), yk.end()), cat);
     });
-    // Fold y(K) into my blocks' partial sums: lsum(I) += L(I,K) * y(K).
-    const auto blist = plan.below(cp);
-    const auto bidx = plan.below_index(cp);
-    const Idx wk = part.width(k);
-    const Idx ldk = lu.sym.panel_rows[static_cast<size_t>(k)];
-    for (size_t bi = 0; bi < blist.size(); ++bi) {
-      const Idx i = blist[bi];
-      if (shape.owner_row(i) != myrow || shape.owner_col(k) != mycol) continue;
+    if (shape.owner_col(k) != mycol) return;
+    // Charge the gemm time for my blocks in this column now (the compute
+    // overlaps the remaining traffic), but defer the numeric fold to row
+    // completion so the accumulation order is fixed by the plan.
+    ycache.emplace(k, std::vector<Real>(yk.begin(), yk.end()));
+    for (const Idx i : plan.below(cp)) {
+      if (shape.owner_row(i) != myrow) continue;
       const Idx rp = plan.row_pos(i);
       auto& st = rowstate.at(rp);
-      const Idx wi = part.width(i);
-      const Idx off =
-          lu.sym.below_offset[static_cast<size_t>(k)][static_cast<size_t>(bidx[bi])];
-      gemm_plus_ld(wi, wk, nrhs,
-                   std::span<const Real>(lu.lpanel[static_cast<size_t>(k)]).subspan(
-                       static_cast<size_t>(off)),
-                   ldk, yk, wk, st.lsum, wi);
       grid.compute(plan.block_flops(i, k, nrhs));
       if (--st.pending == 0) ready_rows.push_back(rp);
     }
@@ -107,6 +98,39 @@ LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_l
     const Idx i = plan.rows()[static_cast<size_t>(rp)];
     const TreeView t = plan.l_reduce(rp);
     auto& st = rowstate.at(rp);
+    // Reduce in plan order: carry-in first, then my blocks by ascending
+    // column, then child partials by ascending source rank.
+    if (t.root() == me) {
+      const auto itl = lsum_in.find(i);
+      if (itl != lsum_in.end()) {
+        if (itl->second.size() != st.lsum.size()) {
+          throw std::invalid_argument("solve_l_2d: lsum_in size mismatch");
+        }
+        for (size_t v = 0; v < st.lsum.size(); ++v) st.lsum[v] += itl->second[v];
+      }
+    }
+    if (shape.owner_row(i) == myrow) {
+      const auto pat = plan.row_pattern(rp);
+      const auto pidx = plan.row_pattern_index(rp);
+      const Idx wi = part.width(i);
+      for (size_t pi = 0; pi < pat.size(); ++pi) {
+        const Idx k = pat[pi];
+        if (shape.owner_col(k) != mycol) continue;
+        const Idx wk = part.width(k);
+        const Idx ldk = lu.sym.panel_rows[static_cast<size_t>(k)];
+        const Idx off =
+            lu.sym.below_offset[static_cast<size_t>(k)][static_cast<size_t>(pidx[pi])];
+        gemm_plus_ld(wi, wk, nrhs,
+                     std::span<const Real>(lu.lpanel[static_cast<size_t>(k)]).subspan(
+                         static_cast<size_t>(off)),
+                     ldk, ycache.at(k), wk, st.lsum, wi);
+      }
+    }
+    std::sort(st.child_lsum.begin(), st.child_lsum.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [src, partial] : st.child_lsum) {
+      for (size_t v = 0; v < st.lsum.size(); ++v) st.lsum[v] += partial[v];
+    }
     if (t.root() != me) {
       grid.send(t.parent_of(me), tag_base + 4 * static_cast<int>(i) + kKindLsum,
                 std::move(st.lsum), cat);
@@ -167,7 +191,7 @@ LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_l
       if (m.data.size() != st.lsum.size()) {
         throw std::runtime_error("solve_l_2d: lsum message size mismatch");
       }
-      for (size_t v = 0; v < st.lsum.size(); ++v) st.lsum[v] += m.data[v];
+      st.child_lsum.emplace_back(m.src, std::move(m.data));
       if (--st.pending == 0) ready_rows.push_back(rp);
     } else {
       throw std::runtime_error("solve_l_2d: unexpected message kind");
@@ -191,11 +215,15 @@ USolve2dResult solve_u_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& y_l
   USolve2dResult result;
 
   // Per-column reduction state (columns whose U-reduction tree I'm in).
+  // Same deferred-accumulation scheme as the L-solve: record contributions
+  // at arrival, sum in plan order at completion.
   struct ColState {
     std::vector<Real> usum;
+    std::vector<std::pair<int, std::vector<Real>>> child_usum;  // (src, partial)
     Idx pending = 0;
   };
   std::unordered_map<Idx, ColState> colstate;  // key: column position
+  std::unordered_map<Idx, std::vector<Real>> xcache;  // key: supernode
   int expected = 0;
 
   for (Idx cp = 0; cp < plan.num_cols(); ++cp) {
@@ -228,23 +256,15 @@ USolve2dResult solve_u_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& y_l
       grid.send(child, tag_base + 4 * static_cast<int>(i) + kKindXsol,
                 std::vector<Real>(xi.begin(), xi.end()), cat);
     });
-    // usum(K) += U(K,I) * x(I) for my blocks in this row of the pattern.
-    const auto pat = plan.row_pattern(rp);
-    const auto pidx = plan.row_pattern_index(rp);
-    const Idx wi = part.width(i);
-    for (size_t pi = 0; pi < pat.size(); ++pi) {
-      const Idx k = pat[pi];
-      if (shape.owner_row(k) != myrow || shape.owner_col(i) != mycol) continue;
+    if (shape.owner_col(i) != mycol) return;
+    // Charge the gemm time for my blocks in this row now; the numeric
+    // usum(K) += U(K,I) * x(I) fold runs at column completion, in plan
+    // order (see the L-solve).
+    xcache.emplace(i, std::vector<Real>(xi.begin(), xi.end()));
+    for (const Idx k : plan.row_pattern(rp)) {
+      if (shape.owner_row(k) != myrow) continue;
       const Idx cp = plan.col_pos(k);
       auto& st = colstate.at(cp);
-      const Idx wk = part.width(k);
-      const Idx off =
-          lu.sym.below_offset[static_cast<size_t>(k)][static_cast<size_t>(pidx[pi])];
-      // U(K,I) is a packed wk x wi block at column offset `off` of K's panel.
-      gemm_plus_ld(wk, wi, nrhs,
-                   std::span<const Real>(lu.upanel[static_cast<size_t>(k)])
-                       .subspan(static_cast<size_t>(off) * static_cast<size_t>(wk)),
-                   wk, xi, wi, st.usum, wk);
       grid.compute(plan.block_flops(i, k, nrhs));
       if (--st.pending == 0) ready_cols.push_back(cp);
     }
@@ -254,6 +274,30 @@ USolve2dResult solve_u_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& y_l
     const Idx k = plan.cols()[static_cast<size_t>(cp)];
     const TreeView t = plan.u_reduce(cp);
     auto& st = colstate.at(cp);
+    // Reduce in plan order: my blocks by ascending row, then child partials
+    // by ascending source rank.
+    if (shape.owner_row(k) == myrow) {
+      const auto blist = plan.below(cp);
+      const auto bidx = plan.below_index(cp);
+      const Idx wk = part.width(k);
+      for (size_t bi = 0; bi < blist.size(); ++bi) {
+        const Idx i = blist[bi];
+        if (shape.owner_col(i) != mycol) continue;
+        const Idx wi = part.width(i);
+        const Idx off =
+            lu.sym.below_offset[static_cast<size_t>(k)][static_cast<size_t>(bidx[bi])];
+        // U(K,I) is a packed wk x wi block at column offset `off` of K's panel.
+        gemm_plus_ld(wk, wi, nrhs,
+                     std::span<const Real>(lu.upanel[static_cast<size_t>(k)])
+                         .subspan(static_cast<size_t>(off) * static_cast<size_t>(wk)),
+                     wk, xcache.at(i), wi, st.usum, wk);
+      }
+    }
+    std::sort(st.child_usum.begin(), st.child_usum.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [src, partial] : st.child_usum) {
+      for (size_t v = 0; v < st.usum.size(); ++v) st.usum[v] += partial[v];
+    }
     if (t.root() != me) {
       grid.send(t.parent_of(me), tag_base + 4 * static_cast<int>(k) + kKindUsum,
                 std::move(st.usum), cat);
@@ -320,7 +364,7 @@ USolve2dResult solve_u_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& y_l
       if (m.data.size() != st.usum.size()) {
         throw std::runtime_error("solve_u_2d: usum message size mismatch");
       }
-      for (size_t v = 0; v < st.usum.size(); ++v) st.usum[v] += m.data[v];
+      st.child_usum.emplace_back(m.src, std::move(m.data));
       if (--st.pending == 0) ready_cols.push_back(cp);
     } else {
       throw std::runtime_error("solve_u_2d: unexpected message kind");

@@ -423,11 +423,12 @@ DistSolveOutcome solve_sptrsv_3d(const SupernodalLU& lu, const NdTree& tree,
         } else {
           run_baseline(ctx, world, grid, zline, z);
         }
-      });
+      }, cfg.run);
 
   DistSolveOutcome out;
   out.x = std::move(x);
   out.rank_times = std::move(times);
+  out.run_stats = stats;
   for (const auto& t : out.rank_times) out.makespan = std::max(out.makespan, t.total);
   return out;
 }

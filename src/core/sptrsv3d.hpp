@@ -46,6 +46,9 @@ struct SolveConfig {
   /// the naive per-node dense allreduce (ablation). Proposed algorithm only.
   bool sparse_zreduce = true;
   Idx nrhs = 1;
+  /// Runtime scheduling: deterministic token-handoff mode and the
+  /// perturbation seed (see RunOptions in runtime/cluster.hpp).
+  RunOptions run;
 };
 
 /// Per-rank phase timing (virtual seconds), split by the paper's breakdown
@@ -66,6 +69,9 @@ struct DistSolveOutcome {
   std::vector<Real> x;
   /// Per-world-rank phase times.
   std::vector<RankPhaseTimes> rank_times;
+  /// Raw runtime statistics (category times, message/byte counts) — feeds
+  /// Cluster::Result::fingerprint() for repeatability checks.
+  Cluster::Result run_stats;
   /// Modeled makespan (max total over ranks).
   double makespan = 0;
   double mean(double RankPhaseTimes::* field) const;

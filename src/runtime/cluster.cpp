@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -17,6 +20,10 @@ namespace detail {
 namespace {
 /// Tree depth used by the collective cost model.
 double log2_ceil(int p) { return p <= 1 ? 0.0 : std::ceil(std::log2(static_cast<double>(p))); }
+
+/// Perturbation draw-stream id reserved for the rank-constant compute skew
+/// (message draws count up from 0 and never reach it).
+constexpr std::uint64_t kSkewDraw = ~std::uint64_t{0};
 }  // namespace
 
 /// A message annotated with the communicator context it was sent on.
@@ -36,10 +43,13 @@ struct Mailbox {
 /// Per-rank runtime context (virtual clock + accounting + mailbox).
 struct RankCtx {
   Mailbox mailbox;
+  int grank = 0;                 ///< global (world) rank of this context
   double vt = 0.0;
   double category[kNumTimeCategories] = {0, 0, 0, 0};
   std::int64_t messages[kNumTimeCategories] = {0, 0, 0, 0};
   std::int64_t bytes[kNumTimeCategories] = {0, 0, 0, 0};
+  double skew = 1.0;             ///< perturbation compute-skew factor
+  std::uint64_t pseq = 0;        ///< per-message perturbation draw counter
 
   void advance(double seconds, TimeCategory cat) {
     vt += seconds;
@@ -47,13 +57,160 @@ struct RankCtx {
   }
 };
 
+/// Thrown into ranks blocked on a dead cluster.
+struct ClusterAborted : std::runtime_error {
+  ClusterAborted() : std::runtime_error("cluster aborted: another rank failed") {}
+};
+
+/// Deterministic-mode run-token scheduler (docs/DETERMINISM.md).
+///
+/// Exactly one rank executes at a time; every blocking point in the runtime
+/// hands the token back here. The next holder is always the READY rank with
+/// the lexicographically smallest (virtual-time key, rank) pair, so the
+/// complete execution order — and with it every wildcard-receive choice,
+/// clock value and message count — is a pure function of the program.
+///
+/// States: READY (wants the token, key = the virtual time it would resume
+/// at), RUNNING (holds the token), BLOCKED (needs wake(): an unsatisfied
+/// receive or an unfinished collective), DONE. No token is granted until
+/// all ranks have registered via start(), so the first holder does not
+/// depend on thread start-up order.
+class Scheduler {
+ public:
+  explicit Scheduler(int nranks)
+      : state_(static_cast<size_t>(nranks), State::kUnstarted),
+        key_(static_cast<size_t>(nranks), 0.0),
+        cv_(static_cast<size_t>(nranks)) {}
+
+  /// Registers the calling rank and waits for its first grant.
+  void start(int rank) {
+    std::unique_lock<std::mutex> lk(mu_);
+    state_[static_cast<size_t>(rank)] = State::kReady;
+    key_[static_cast<size_t>(rank)] = 0.0;
+    ++started_;
+    grant_locked();
+    wait_for_token(lk, rank);
+  }
+
+  /// Releases the token for good (rank_fn returned).
+  void finish(int rank) {
+    std::lock_guard<std::mutex> lk(mu_);
+    state_[static_cast<size_t>(rank)] = State::kDone;
+    running_ = -1;
+    grant_locked();
+  }
+
+  /// Re-enters the ready set with `key` (the virtual time the rank intends
+  /// to resume at) and waits until it is the minimum again. Used to defer a
+  /// receive commit while a rank with an earlier clock could still send.
+  void yield(int rank, double key) {
+    std::unique_lock<std::mutex> lk(mu_);
+    state_[static_cast<size_t>(rank)] = State::kReady;
+    key_[static_cast<size_t>(rank)] = key;
+    running_ = -1;
+    grant_locked();
+    wait_for_token(lk, rank);
+  }
+
+  /// Parks the rank until wake(); resumes once re-granted the token.
+  void block(int rank, double key) {
+    std::unique_lock<std::mutex> lk(mu_);
+    state_[static_cast<size_t>(rank)] = State::kBlocked;
+    key_[static_cast<size_t>(rank)] = key;
+    running_ = -1;
+    grant_locked();
+    wait_for_token(lk, rank);
+  }
+
+  /// Marks a blocked rank ready (no-op otherwise). Only the token holder
+  /// calls this — after delivering a message or finalizing a collective —
+  /// so the transition is serialized and needs no grant of its own.
+  void wake(int rank) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (state_[static_cast<size_t>(rank)] == State::kBlocked) {
+      state_[static_cast<size_t>(rank)] = State::kReady;
+    }
+  }
+
+  /// True if a READY rank's key is strictly below `key` — i.e. someone
+  /// could still execute (and send) at an earlier virtual time.
+  bool ready_below(int rank, double key) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t r = 0; r < state_.size(); ++r) {
+      if (static_cast<int>(r) != rank && state_[r] == State::kReady && key_[r] < key) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Wakes every waiter with the abort flag; they throw ClusterAborted.
+  void abort() {
+    std::lock_guard<std::mutex> lk(mu_);
+    aborted_ = true;
+    for (auto& cv : cv_) cv.notify_all();
+  }
+
+ private:
+  enum class State { kUnstarted, kReady, kRunning, kBlocked, kDone };
+
+  /// Grants the token to the minimal-(key, rank) READY rank, once all ranks
+  /// have started and no one is running. Caller holds mu_.
+  void grant_locked() {
+    if (running_ != -1 || started_ < static_cast<int>(state_.size())) return;
+    int best = -1;
+    for (size_t r = 0; r < state_.size(); ++r) {
+      if (state_[r] != State::kReady) continue;
+      if (best < 0 || key_[r] < key_[static_cast<size_t>(best)]) {
+        best = static_cast<int>(r);  // key tie: lowest rank wins (scan order)
+      }
+    }
+    if (best < 0) return;  // everyone blocked or done
+    state_[static_cast<size_t>(best)] = State::kRunning;
+    running_ = best;
+    // Per-rank condition variables: a handoff wakes exactly the new holder.
+    // One shared cv would thundering-herd all P waiters per handoff, which
+    // dominates runtime at P in the thousands.
+    cv_[static_cast<size_t>(best)].notify_one();
+  }
+
+  void wait_for_token(std::unique_lock<std::mutex>& lk, int rank) {
+    cv_[static_cast<size_t>(rank)].wait(
+        lk, [&] { return aborted_ || running_ == rank; });
+    if (aborted_) throw ClusterAborted();
+  }
+
+  bool aborted_ = false;
+  int started_ = 0;
+  int running_ = -1;
+  std::vector<State> state_;
+  std::vector<double> key_;
+  std::mutex mu_;
+  std::vector<std::condition_variable> cv_;
+};
+
 /// Whole-cluster shared state.
 class ClusterState {
  public:
-  ClusterState(int nranks, MachineModel machine)
-      : machine_(std::move(machine)), ranks_(static_cast<size_t>(nranks)) {}
+  ClusterState(int nranks, MachineModel machine, const RunOptions& opts)
+      : machine_(std::move(machine)), opts_(opts),
+        ranks_(static_cast<size_t>(nranks)) {
+    if (opts_.deterministic) sched_ = std::make_unique<Scheduler>(nranks);
+    const bool skewed = machine_.perturb.compute_skew > 0.0;
+    for (int r = 0; r < nranks; ++r) {
+      RankCtx& ctx = ranks_[static_cast<size_t>(r)];
+      ctx.grank = r;
+      if (skewed) {
+        ctx.skew = 1.0 + machine_.perturb.compute_skew *
+                             perturb_uniform(opts_.seed, static_cast<std::uint64_t>(r),
+                                             kSkewDraw);
+      }
+    }
+  }
 
   const MachineModel& machine() const { return machine_; }
+  const RunOptions& opts() const { return opts_; }
+  Scheduler* sched() { return sched_.get(); }
   RankCtx& rank(int global) { return ranks_[static_cast<size_t>(global)]; }
   int world_size() const { return static_cast<int>(ranks_.size()); }
   std::uint64_t next_ctx() { return ++ctx_counter_; }
@@ -71,16 +228,13 @@ class ClusterState {
 
  private:
   MachineModel machine_;
+  RunOptions opts_;
+  std::unique_ptr<Scheduler> sched_;  // deterministic mode only
   std::deque<RankCtx> ranks_;  // deque: RankCtx is not movable (mutex)
   std::uint64_t ctx_counter_ = 0;  // pre-incremented under group mutexes only
   std::atomic<bool> aborted_{false};
   std::mutex groups_mu_;
   std::vector<std::weak_ptr<CommGroup>> groups_;
-};
-
-/// Thrown into ranks blocked on a dead cluster.
-struct ClusterAborted : std::runtime_error {
-  ClusterAborted() : std::runtime_error("cluster aborted: another rank failed") {}
 };
 
 /// One communicator: a context id plus the member global ranks. Also hosts
@@ -101,7 +255,8 @@ class CommGroup : public std::enable_shared_from_this<CommGroup> {
     int consumed = 0;
     bool ready = false;
     double max_vt = 0.0;
-    std::vector<Real> reduce;                       // allreduce accumulator
+    std::vector<std::vector<Real>> contribs;        // allreduce inputs (by rank)
+    std::vector<Real> reduce;                       // allreduce result
     std::vector<std::pair<int, int>> color_key;     // split inputs (by rank)
     std::vector<std::shared_ptr<CommGroup>> split_groups;  // split outputs
     std::vector<int> split_rank;                    // split outputs
@@ -110,9 +265,13 @@ class CommGroup : public std::enable_shared_from_this<CommGroup> {
   /// Runs one collective: `deposit` stores this rank's contribution into
   /// the slot; the last arriver runs `finalize`; everyone then reads via
   /// `extract` after `ready`. All callbacks run under the group mutex.
+  /// `grank`/`vt` identify the caller to the deterministic scheduler.
   template <class Deposit, class Finalize, class Extract>
-  auto collective(std::int64_t gen, Deposit deposit, Finalize finalize,
-                  Extract extract) {
+  auto collective(std::int64_t gen, int grank, double vt, Deposit deposit,
+                  Finalize finalize, Extract extract) {
+    if (Scheduler* sched = cluster_->sched()) {
+      return collective_det(sched, gen, grank, vt, deposit, finalize, extract);
+    }
     std::unique_lock<std::mutex> lk(mu_);
     CollSlot& slot = slots_[gen];
     deposit(slot);
@@ -135,6 +294,45 @@ class CommGroup : public std::enable_shared_from_this<CommGroup> {
   }
 
  private:
+  /// Deterministic-mode collective: the caller holds the run token, so
+  /// slot arrivals are already serialized; non-final arrivers release the
+  /// token through the scheduler instead of waiting on the group condition
+  /// variable, and the finalizer wakes the parked members.
+  template <class Deposit, class Finalize, class Extract>
+  auto collective_det(Scheduler* sched, std::int64_t gen, int grank, double vt,
+                      Deposit deposit, Finalize finalize, Extract extract) {
+    bool finalized_here = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      CollSlot& slot = slots_[gen];
+      deposit(slot);
+      if (++slot.arrived == size()) {
+        finalize(slot);
+        slot.ready = true;
+        finalized_here = true;
+      }
+    }
+    if (finalized_here) {
+      for (const int g : globals_) {
+        if (g != grank) sched->wake(g);
+      }
+    } else {
+      for (;;) {
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          if (slots_[gen].ready) break;
+        }
+        if (cluster_->aborted()) throw ClusterAborted();
+        sched->block(grank, vt);  // a stray message wake rechecks and re-parks
+      }
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    CollSlot& slot = slots_[gen];
+    auto result = extract(slot);
+    if (++slot.consumed == size()) slots_.erase(gen);
+    return result;
+  }
+
   ClusterState* cluster_;
   std::uint64_t ctx_;
   std::vector<int> globals_;
@@ -145,6 +343,7 @@ class CommGroup : public std::enable_shared_from_this<CommGroup> {
 
 void ClusterState::abort() {
   aborted_.store(true, std::memory_order_release);
+  if (sched_) sched_->abort();
   for (auto& r : ranks_) {
     std::lock_guard<std::mutex> lk(r.mailbox.mu);
     r.mailbox.cv.notify_all();
@@ -166,7 +365,8 @@ double Comm::vtime() const { return ctx_->vt; }
 void Comm::advance(double seconds, TimeCategory cat) { ctx_->advance(seconds, cat); }
 
 void Comm::compute(double flops) {
-  ctx_->advance(flops / machine().cpu_flop_rate, TimeCategory::kFp);
+  // ctx_->skew is 1 unless the perturbation model sets a compute skew.
+  ctx_->advance(flops / machine().cpu_flop_rate * ctx_->skew, TimeCategory::kFp);
 }
 
 void Comm::reset_clock() {
@@ -195,23 +395,57 @@ void Comm::send(int dst, int tag, std::vector<Real> data, TimeCategory cat) {
 void Comm::send_link(int dst, int tag, std::vector<Real> data, const LinkParams& link,
                      double overhead, TimeCategory cat) {
   if (dst < 0 || dst >= size()) throw std::out_of_range("Comm::send: bad destination");
+  detail::ClusterState* cluster = group_->cluster();
   ctx_->advance(overhead, cat);
   ++ctx_->messages[static_cast<int>(cat)];
   ctx_->bytes[static_cast<int>(cat)] +=
       static_cast<std::int64_t>(data.size() * sizeof(Real));
   const double bytes = static_cast<double>(data.size()) * sizeof(Real);
+
+  // Perturbation hooks: timing only — payload, counts and destination are
+  // untouched, so results must be invariant under any seed.
+  double latency = link.latency;
+  double bandwidth = link.bandwidth;
+  double extra_delay = 0.0;
+  const PerturbationModel& pm = machine().perturb;
+  if (pm.active()) {
+    const std::uint64_t seed = cluster->opts().seed;
+    for (const auto& dg : pm.degradations) {
+      if (!dg.all_categories && dg.category != cat) continue;
+      if (ctx_->vt < dg.vt_begin || ctx_->vt >= dg.vt_end) continue;
+      latency *= dg.latency_factor;
+      bandwidth *= dg.bandwidth_factor;
+    }
+    if (pm.latency_jitter > 0.0) {
+      latency *= 1.0 + pm.latency_jitter *
+                           detail::perturb_uniform(
+                               seed, static_cast<std::uint64_t>(ctx_->grank),
+                               ctx_->pseq++);
+    }
+    if (pm.delivery_delay > 0.0) {
+      extra_delay = pm.delivery_delay *
+                    detail::perturb_uniform(seed,
+                                            static_cast<std::uint64_t>(ctx_->grank),
+                                            ctx_->pseq++);
+    }
+  }
+
   detail::Envelope env;
   env.ctx = group_->ctx();
   env.msg.src = rank_;
   env.msg.tag = tag;
   env.msg.data = std::move(data);
-  env.msg.arrival = ctx_->vt + link.latency + bytes / link.bandwidth;
-  detail::Mailbox& box = group_->cluster()->rank(group_->global_rank(dst)).mailbox;
+  env.msg.arrival = ctx_->vt + latency + bytes / bandwidth + extra_delay;
+  const int dst_grank = group_->global_rank(dst);
+  detail::Mailbox& box = cluster->rank(dst_grank).mailbox;
   {
     std::lock_guard<std::mutex> lk(box.mu);
     box.q.push_back(std::move(env));
   }
   box.cv.notify_all();
+  // Deterministic mode: the receiver parks in the scheduler, not on the
+  // mailbox condition variable.
+  if (detail::Scheduler* sched = cluster->sched()) sched->wake(dst_grank);
 }
 
 Message Comm::recv(int src, int tag, TimeCategory cat) {
@@ -222,40 +456,83 @@ Message Comm::recv(int src, int tag, TimeCategory cat) {
 Message Comm::recv_range(int src, int tag_lo, int tag_hi, TimeCategory cat) {
   const bool any_tag = (tag_lo >= tag_hi);
   detail::Mailbox& box = ctx_->mailbox;
-  std::unique_lock<std::mutex> lk(box.mu);
   auto matches = [&](const detail::Envelope& e) {
     return e.ctx == group_->ctx() && (src == kAnySource || e.msg.src == src) &&
            (any_tag || (e.msg.tag >= tag_lo && e.msg.tag < tag_hi));
   };
-  // Among queued matches take the earliest virtual arrival (per-source
-  // arrivals are monotone, so same-source FIFO is preserved).
-  std::deque<detail::Envelope>::iterator best;
-  box.cv.wait(lk, [&] {
-    best = box.q.end();
+  // Among queued matches take the earliest virtual arrival (unperturbed
+  // per-source arrivals are monotone, so same-source FIFO is preserved;
+  // perturbation seeds may reorder them — by design, solvers must not care).
+  auto scan = [&]() {
+    auto best = box.q.end();
     for (auto it = box.q.begin(); it != box.q.end(); ++it) {
       if (matches(*it) && (best == box.q.end() || it->msg.arrival < best->msg.arrival)) {
         best = it;
       }
     }
+    return best;
+  };
+  auto take = [&](std::deque<detail::Envelope>::iterator best) {
+    Message msg = std::move(best->msg);
+    box.q.erase(best);
+    const double t0 = ctx_->vt;
+    ctx_->advance(std::max(0.0, msg.arrival - t0) + machine().mpi_overhead, cat);
+    return msg;
+  };
+
+  if (detail::Scheduler* sched = group_->cluster()->sched()) {
+    // Deterministic mode: the caller holds the run token. Park until a
+    // match is queued, then commit only once no READY rank could still
+    // execute (and send) below the commit time — the wildcard choice is
+    // the globally earliest arrival any runnable rank can produce.
+    for (;;) {
+      if (group_->cluster()->aborted()) throw detail::ClusterAborted();
+      std::unique_lock<std::mutex> lk(box.mu);
+      auto best = scan();
+      if (best == box.q.end()) {
+        lk.unlock();
+        sched->block(ctx_->grank, ctx_->vt);
+        continue;
+      }
+      const double commit = std::max(ctx_->vt, best->msg.arrival);
+      if (sched->ready_below(ctx_->grank, commit)) {
+        lk.unlock();
+        sched->yield(ctx_->grank, commit);
+        continue;  // an earlier message may have been queued meanwhile
+      }
+      return take(best);
+    }
+  }
+
+  std::unique_lock<std::mutex> lk(box.mu);
+  std::deque<detail::Envelope>::iterator best;
+  box.cv.wait(lk, [&] {
+    best = scan();
     return best != box.q.end() || group_->cluster()->aborted();
   });
   if (best == box.q.end()) throw detail::ClusterAborted();
-  Message msg = std::move(best->msg);
-  box.q.erase(best);
-  lk.unlock();
-  const double t0 = ctx_->vt;
-  ctx_->advance(std::max(0.0, msg.arrival - t0) + machine().mpi_overhead, cat);
-  return msg;
+  return take(best);
 }
 
 bool Comm::probe(int src, int tag) {
   detail::Mailbox& box = ctx_->mailbox;
-  std::lock_guard<std::mutex> lk(box.mu);
-  for (const auto& e : box.q) {
-    if (e.ctx == group_->ctx() && (src == kAnySource || e.msg.src == src) &&
-        (tag == kAnyTag || e.msg.tag == tag)) {
-      return true;
+  auto scan = [&] {
+    std::lock_guard<std::mutex> lk(box.mu);
+    for (const auto& e : box.q) {
+      if (e.ctx == group_->ctx() && (src == kAnySource || e.msg.src == src) &&
+          (tag == kAnyTag || e.msg.tag == tag)) {
+        return true;
+      }
     }
+    return false;
+  };
+  if (scan()) return true;
+  // Deterministic mode: a miss yields the token at an infinite key so
+  // probe-spin loops make progress (everyone else runs first), then
+  // rescans — without this a spinning rank would hold the token forever.
+  if (detail::Scheduler* sched = group_->cluster()->sched()) {
+    sched->yield(ctx_->grank, std::numeric_limits<double>::infinity());
+    return scan();
   }
   return false;
 }
@@ -265,7 +542,7 @@ void Comm::barrier(TimeCategory cat) {
       detail::log2_ceil(size()) * 2.0 * (machine().net.latency + machine().mpi_overhead);
   const double my_vt = ctx_->vt;
   const double sync_vt = group_->collective(
-      coll_gen_++,
+      coll_gen_++, ctx_->grank, my_vt,
       [&](auto& slot) { slot.max_vt = std::max(slot.max_vt, my_vt); },
       [](auto&) {}, [](auto& slot) { return slot.max_vt; });
   ctx_->advance(std::max(0.0, sync_vt - my_vt) + cost, cat);
@@ -277,17 +554,28 @@ std::vector<Real> Comm::allreduce_sum(std::span<const Real> v, TimeCategory cat)
                       (machine().net.latency + machine().mpi_overhead +
                        bytes / machine().net.bandwidth);
   const double my_vt = ctx_->vt;
+  const int nmembers = size();
   auto result = group_->collective(
-      coll_gen_++,
+      coll_gen_++, ctx_->grank, my_vt,
       [&](auto& slot) {
         slot.max_vt = std::max(slot.max_vt, my_vt);
-        if (slot.reduce.empty()) slot.reduce.assign(v.size(), 0.0);
-        if (slot.reduce.size() != v.size()) {
-          throw std::invalid_argument("allreduce_sum: mismatched lengths");
+        if (slot.contribs.empty()) {
+          slot.contribs.resize(static_cast<size_t>(nmembers));
         }
-        for (size_t i = 0; i < v.size(); ++i) slot.reduce[i] += v[i];
+        slot.contribs[static_cast<size_t>(rank_)].assign(v.begin(), v.end());
       },
-      [](auto&) {},
+      [nmembers](auto& slot) {
+        // Sum in rank order — the reduction order is fixed by rank, not by
+        // arrival, so the result is bitwise identical in every run.
+        slot.reduce.assign(slot.contribs.front().size(), 0.0);
+        for (int r = 0; r < nmembers; ++r) {
+          const auto& c = slot.contribs[static_cast<size_t>(r)];
+          if (c.size() != slot.reduce.size()) {
+            throw std::invalid_argument("allreduce_sum: mismatched lengths");
+          }
+          for (size_t i = 0; i < c.size(); ++i) slot.reduce[i] += c[i];
+        }
+      },
       [](auto& slot) {
         return std::pair<std::vector<Real>, double>(slot.reduce, slot.max_vt);
       });
@@ -297,7 +585,8 @@ std::vector<Real> Comm::allreduce_sum(std::span<const Real> v, TimeCategory cat)
 
 double Comm::allreduce_max(double v) {
   auto result = group_->collective(
-      coll_gen_++, [&](auto& slot) { slot.max_vt = std::max(slot.max_vt, v); },
+      coll_gen_++, ctx_->grank, ctx_->vt,
+      [&](auto& slot) { slot.max_vt = std::max(slot.max_vt, v); },
       [](auto&) {}, [](auto& slot) { return slot.max_vt; });
   return result;
 }
@@ -305,7 +594,7 @@ double Comm::allreduce_max(double v) {
 Comm Comm::split(int color, int key) {
   auto group = group_;  // keep alive across the collective
   auto result = group_->collective(
-      coll_gen_++,
+      coll_gen_++, ctx_->grank, ctx_->vt,
       [&](auto& slot) {
         if (slot.color_key.empty()) {
           slot.color_key.assign(static_cast<size_t>(size()), {0, 0});
@@ -370,10 +659,25 @@ double Cluster::Result::min_category(TimeCategory cat) const {
   return m;
 }
 
+std::uint64_t Cluster::Result::fingerprint() const {
+  std::uint64_t h = detail::hash64(static_cast<std::uint64_t>(ranks.size()));
+  auto mix = [&h](std::uint64_t v) { h = detail::hash64(h ^ v); };
+  for (const auto& r : ranks) {
+    mix(std::bit_cast<std::uint64_t>(r.vtime));
+    for (int c = 0; c < kNumTimeCategories; ++c) {
+      mix(std::bit_cast<std::uint64_t>(r.category[c]));
+      mix(static_cast<std::uint64_t>(r.messages[c]));
+      mix(static_cast<std::uint64_t>(r.bytes[c]));
+    }
+  }
+  return h;
+}
+
 Cluster::Result Cluster::run(int nranks, const MachineModel& machine,
-                             const std::function<void(Comm&)>& rank_fn) {
+                             const std::function<void(Comm&)>& rank_fn,
+                             const RunOptions& opts) {
   if (nranks <= 0) throw std::invalid_argument("Cluster::run: nranks must be positive");
-  detail::ClusterState state(nranks, machine);
+  detail::ClusterState state(nranks, machine, opts);
   std::vector<int> globals(static_cast<size_t>(nranks));
   for (int r = 0; r < nranks; ++r) globals[static_cast<size_t>(r)] = r;
   auto world =
@@ -387,8 +691,11 @@ Cluster::Result Cluster::run(int nranks, const MachineModel& machine,
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
       Comm comm(world, r, &state.rank(r));
+      detail::Scheduler* sched = state.sched();
       try {
+        if (sched) sched->start(r);
         rank_fn(comm);
+        if (sched) sched->finish(r);
       } catch (const detail::ClusterAborted&) {
         // Secondary casualty of another rank's failure; the original
         // exception is already recorded.

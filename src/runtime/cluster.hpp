@@ -14,13 +14,22 @@
 /// overhead and stamps the message with `sender_vt + latency + bytes/BW`;
 /// a receive advances the receiver to `max(own_vt, arrival)`. The reported
 /// solve time of a run is the maximum clock over ranks (modeled makespan).
-/// When several messages are queued, a wildcard receive takes the earliest
-/// virtual arrival; because OS scheduling can deliver messages out of
-/// virtual order, modeled makespans carry a small pessimistic jitter —
-/// acceptable for the figure-level comparisons this library reproduces.
+///
+/// Two scheduling modes (selected by RunOptions, see docs/DETERMINISM.md):
+///  - Free-running (default): ranks execute concurrently; a wildcard
+///    receive takes the earliest virtual arrival among *queued* messages,
+///    so OS scheduling can perturb which message wins and makespans carry
+///    a small run-to-run jitter. Fastest; fine for exploratory sweeps.
+///  - Deterministic: ranks hand off a run token in virtual-time order via a
+///    sequenced condition-variable protocol. A receive only commits to a
+///    queued message once no runnable rank could still produce an earlier
+///    virtual arrival, so makespans, per-category breakdowns and message
+///    counts are bit-reproducible across runs and machines.
 ///
 /// Time is attributed to the paper's breakdown categories (FP operation,
-/// XY/intra-grid communication, Z/inter-grid communication; Fig 5-6).
+/// XY/intra-grid communication, Z/inter-grid communication; Fig 5-6),
+/// defined in runtime/perturbation.hpp together with the seeded
+/// PerturbationModel the clock applies when MachineModel::perturb is set.
 
 #include <cstdint>
 #include <functional>
@@ -37,14 +46,16 @@ namespace sptrsv {
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
-/// Paper Fig 5-6 time-breakdown buckets.
-enum class TimeCategory : int {
-  kFp = 0,      ///< floating-point operations
-  kXyComm = 1,  ///< intra-grid (2D solve) communication
-  kZComm = 2,   ///< inter-grid (between 2D grids) communication
-  kOther = 3,   ///< setup, idle at final barrier, uncategorized
+/// Per-run scheduling options for Cluster::run.
+struct RunOptions {
+  /// Serialize rank execution behind a virtual-time-ordered token so the
+  /// whole run (makespan, breakdowns, message counts) is bit-reproducible.
+  bool deterministic = false;
+  /// Seed for MachineModel::perturb draws. A given (machine, seed) pair
+  /// yields the same perturbations in every run; ignored when the machine's
+  /// perturbation model is inactive.
+  std::uint64_t seed = 0;
 };
-inline constexpr int kNumTimeCategories = 4;
 
 /// A received message.
 struct Message {
@@ -156,11 +167,17 @@ class Cluster {
     double mean_category(TimeCategory cat) const;
     double max_category(TimeCategory cat) const;
     double min_category(TimeCategory cat) const;
+    /// Order-sensitive hash of every per-rank statistic (clock bits,
+    /// category times, message/byte counts). Two deterministic runs of the
+    /// same program must produce equal fingerprints; repeatability checks
+    /// and benches compare this single value.
+    std::uint64_t fingerprint() const;
   };
 
   /// Runs `rank_fn(comm)` on every rank of a world of size `nranks`.
   static Result run(int nranks, const MachineModel& machine,
-                    const std::function<void(Comm&)>& rank_fn);
+                    const std::function<void(Comm&)>& rank_fn,
+                    const RunOptions& opts = {});
 };
 
 }  // namespace sptrsv

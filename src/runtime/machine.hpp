@@ -13,6 +13,8 @@
 
 #include <string>
 
+#include "runtime/perturbation.hpp"
+
 namespace sptrsv {
 
 /// One point-to-point link: first-byte latency plus stream bandwidth.
@@ -53,6 +55,11 @@ struct MachineModel {
   /// ROC-SHMEM (Crusher) lacks MPI subcommunicator support, so 2D grids
   /// larger than 1x1 are not allowed on that machine (paper §3.4).
   bool shmem_subcomm_support = true;
+
+  /// Seeded timing-only fault injection (latency jitter, link degradation
+  /// schedules, compute skew, delivery delays). Inactive by default; the
+  /// seed driving its draws lives in RunOptions (see cluster.hpp).
+  PerturbationModel perturb;
 
   /// Cori Haswell: Xeon E5-2698v3 cores, Cray Aries. CPU-only experiments
   /// (paper Fig 4-8).

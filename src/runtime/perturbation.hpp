@@ -1,0 +1,87 @@
+#pragma once
+/// \file perturbation.hpp
+/// \brief Time-breakdown categories and the seeded fault/perturbation model.
+///
+/// The PerturbationModel injects *timing-only* faults into the virtual
+/// clock: message latency jitter, scheduled link degradation, per-rank
+/// compute skew, and delivery-delay windows. Payloads, message counts and
+/// numerical results are never touched, so a solver that is correct must
+/// produce bit-identical solutions and message counts under every seed —
+/// the invariant tests/test_determinism.cpp asserts. Randomness is a pure
+/// counter-based hash of (seed, rank, draw index), so a draw does not
+/// depend on thread scheduling and a failing seed replays exactly.
+///
+/// The model is attached to MachineModel (a degraded machine is still a
+/// machine); the seed lives in RunOptions so one machine description can be
+/// swept over many perturbation seeds.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace sptrsv {
+
+/// Paper Fig 5-6 time-breakdown buckets.
+enum class TimeCategory : int {
+  kFp = 0,      ///< floating-point operations
+  kXyComm = 1,  ///< intra-grid (2D solve) communication
+  kZComm = 2,   ///< inter-grid (between 2D grids) communication
+  kOther = 3,   ///< setup, idle at final barrier, uncategorized
+};
+inline constexpr int kNumTimeCategories = 4;
+
+/// Seeded, timing-only fault injection applied by the runtime's clock.
+struct PerturbationModel {
+  /// Per-message latency jitter: each send's link latency is multiplied by
+  /// 1 + U[0, latency_jitter).
+  double latency_jitter = 0.0;
+  /// Per-message delivery delay window: U[0, delivery_delay) extra seconds
+  /// are added to the message's virtual arrival time.
+  double delivery_delay = 0.0;
+  /// Per-rank compute skew: a rank's floating-point time is multiplied by a
+  /// rank-constant factor drawn from 1 + U[0, compute_skew).
+  double compute_skew = 0.0;
+
+  /// Scheduled slowdown of one traffic class: within the virtual-time
+  /// window [vt_begin, vt_end), latency is multiplied by `latency_factor`
+  /// and bandwidth by `bandwidth_factor` for matching sends.
+  struct LinkDegradation {
+    /// Traffic class the degradation applies to (matched against the
+    /// TimeCategory of the send); ignored when `all_categories` is set.
+    TimeCategory category = TimeCategory::kOther;
+    bool all_categories = false;
+    double vt_begin = 0.0;
+    double vt_end = std::numeric_limits<double>::infinity();
+    double latency_factor = 1.0;
+    double bandwidth_factor = 1.0;
+  };
+  std::vector<LinkDegradation> degradations;
+
+  /// True if any knob deviates from the identity model.
+  bool active() const {
+    return latency_jitter > 0.0 || delivery_delay > 0.0 || compute_skew > 0.0 ||
+           !degradations.empty();
+  }
+};
+
+namespace detail {
+
+/// SplitMix64: the counter-based generator behind every perturbation draw.
+inline std::uint64_t hash64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform draw in [0, 1) as a pure function of (seed, rank, sequence
+/// number) — identical across runs regardless of thread interleaving.
+inline double perturb_uniform(std::uint64_t seed, std::uint64_t rank,
+                              std::uint64_t seq) {
+  const std::uint64_t h = hash64(hash64(seed ^ (rank << 32)) ^ seq);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace detail
+
+}  // namespace sptrsv

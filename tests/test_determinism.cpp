@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "comm/sparse_allreduce.hpp"
+#include "core/sptrsv3d.hpp"
+#include "factor/sptrsv_seq.hpp"
+#include "ordering/etree.hpp"
+#include "symbolic/colcounts.hpp"
+#include "test_support.hpp"
+
+namespace sptrsv {
+namespace {
+
+using test::bitwise_equal;
+using test::message_counts_identical;
+using test::outcomes_identical;
+using test::perturbed_machine;
+using test::random_rhs;
+using test::random_system;
+using test::shape_tree;
+using test::stats_identical;
+using test::test_machine;
+
+constexpr RunOptions kDet{.deterministic = true, .seed = 0};
+
+// ---------------------------------------------------------------------------
+// Scheduler unit tests: the token protocol itself.
+// ---------------------------------------------------------------------------
+
+TEST(DetScheduler, WildcardTakesGloballyEarliestArrival) {
+  // Rank r>0 computes r virtual seconds then sends; rank 0 receives with a
+  // wildcard. In deterministic mode the receive order must be exactly the
+  // virtual-arrival order (1, 2, ..., P-1) in every run — even though the
+  // later senders' messages are often queued before rank 0 first looks.
+  const int P = 8;
+  for (int run = 0; run < 3; ++run) {
+    Cluster::run(
+        P, test_machine(),
+        [](Comm& c) {
+          if (c.rank() == 0) {
+            for (int i = 1; i < c.size(); ++i) {
+              const Message m = c.recv(kAnySource, 7);
+              EXPECT_EQ(m.src, i) << "receive " << i << " out of arrival order";
+            }
+          } else {
+            c.compute(static_cast<double>(c.rank()) * 1e6);
+            c.send(0, 7, {static_cast<Real>(c.rank())});
+          }
+        },
+        kDet);
+  }
+}
+
+TEST(DetScheduler, FingerprintStableAcrossRuns) {
+  // Messy all-to-all traffic with wildcard receives; three runs must agree
+  // on every statistic bit.
+  auto program = [](Comm& c) {
+    for (int d = 0; d < c.size(); ++d) {
+      if (d != c.rank()) {
+        c.send(d, c.rank(), std::vector<Real>(8, 1.0), TimeCategory::kXyComm);
+      }
+    }
+    double acc = 0;
+    for (int i = 0; i + 1 < c.size(); ++i) {
+      const Message m = c.recv(kAnySource, kAnyTag, TimeCategory::kXyComm);
+      acc = acc * 1.0000001 + m.data[0] * m.src;
+    }
+    c.barrier();
+    c.allreduce_sum(std::vector<Real>{acc}, TimeCategory::kZComm);
+  };
+  const auto r0 = Cluster::run(6, test_machine(), program, kDet);
+  const auto r1 = Cluster::run(6, test_machine(), program, kDet);
+  const auto r2 = Cluster::run(6, test_machine(), program, kDet);
+  EXPECT_TRUE(stats_identical(r0, r1));
+  EXPECT_TRUE(stats_identical(r0, r2));
+  EXPECT_EQ(r0.fingerprint(), r1.fingerprint());
+  EXPECT_EQ(r0.fingerprint(), r2.fingerprint());
+}
+
+TEST(DetScheduler, ExceptionsStillPropagate) {
+  EXPECT_THROW(Cluster::run(
+                   4, test_machine(),
+                   [](Comm& c) {
+                     if (c.rank() == 2) throw std::runtime_error("rank 2 died");
+                     c.recv(kAnySource, kAnyTag);
+                   },
+                   kDet),
+               std::runtime_error);
+  EXPECT_THROW(Cluster::run(
+                   3, test_machine(),
+                   [](Comm& c) {
+                     if (c.rank() == 0) throw std::logic_error("boom");
+                     c.barrier();
+                   },
+                   kDet),
+               std::logic_error);
+}
+
+TEST(DetScheduler, ProbeSpinMakesProgress) {
+  Cluster::run(
+      2, test_machine(),
+      [](Comm& c) {
+        if (c.rank() == 0) {
+          c.compute(1e6);
+          c.send(1, 3, {1.0});
+        } else {
+          while (!c.probe(0, 3)) {
+          }
+          EXPECT_DOUBLE_EQ(c.recv(0, 3).data.at(0), 1.0);
+        }
+      },
+      kDet);
+}
+
+// ---------------------------------------------------------------------------
+// Collective reduction order is pinned by rank, not arrival.
+// ---------------------------------------------------------------------------
+
+TEST(ReductionOrder, AllreduceSumsInRankOrder) {
+  // 0.1 + 0.2 + 0.3 is not FP-associative; the result must be the exact
+  // left-to-right rank-order sum in free-running and deterministic mode.
+  const Real expected = ((Real{0.1} + Real{0.2}) + Real{0.3});
+  for (const bool det : {false, true}) {
+    Cluster::run(
+        3, test_machine(),
+        [&](Comm& c) {
+          // Stagger clocks so deposit order != rank order in most runs.
+          c.compute(static_cast<double>(2 - c.rank()) * 1e7);
+          const std::vector<Real> mine{Real{0.1} * (c.rank() + 1)};
+          const auto out = c.allreduce_sum(mine, TimeCategory::kOther);
+          const Real got = out.at(0);
+          EXPECT_EQ(std::memcmp(&got, &expected, sizeof(Real)), 0)
+              << "allreduce order not rank-pinned (det=" << det << ")";
+        },
+        RunOptions{.deterministic = det});
+  }
+}
+
+TEST(ReductionOrder, LSolvePinnedToPlanOrder) {
+  // Reference reimplementation of the documented L reduction order — own
+  // blocks by ascending column, then child partials by ascending source
+  // rank (flat tree: children are leaves) — compared bitwise against the
+  // distributed solve on a 1 x P grid, where each row's partial sums come
+  // from all P ranks.
+  const Idx n = 12;
+  const CsrMatrix a = make_banded(n, n - 1);  // dense lower triangle
+  const auto parent = elimination_tree(a);
+  const auto counts = cholesky_col_counts(a, parent);
+  SupernodeOptions opt;
+  opt.max_width = 1;
+  opt.relax_width = 0;
+  const SupernodalLU lu =
+      factor_supernodal(a, block_symbolic(a, find_supernodes(parent, counts, opt)));
+
+  const int P = 4;
+  std::vector<Idx> cols(static_cast<size_t>(n));
+  for (Idx k = 0; k < n; ++k) cols[static_cast<size_t>(k)] = k;
+  const Solve2dPlan plan = Solve2dPlan::build(lu, {1, P}, TreeKind::kFlat, cols, {});
+  const Grid2dShape shape{1, P};
+
+  const auto b = random_rhs(n, 1, 99);
+  VecMap b_map;
+  for (Idx i = 0; i < n; ++i) b_map[i] = {b[static_cast<size_t>(i)]};
+
+  // Distributed solve (deterministic mode); gather y from the diag owners.
+  std::vector<Real> y_dist(static_cast<size_t>(n), 0.0);
+  Cluster::run(
+      P, test_machine(),
+      [&](Comm& c) {
+        const auto res = solve_l_2d(c, plan, b_map, {}, 1, 0);
+        for (const auto& [i, y] : res.y) y_dist[static_cast<size_t>(i)] = y.at(0);
+      },
+      kDet);
+
+  // Reference: sequential, same order.
+  std::vector<Real> y_ref(static_cast<size_t>(n), 0.0);
+  for (Idx i = 0; i < n; ++i) {
+    const Idx rp = plan.row_pos(i);
+    const TreeView t = plan.l_reduce(rp);
+    const auto pat = plan.row_pattern(rp);
+    const auto pidx = plan.row_pattern_index(rp);
+    auto partial = [&](int member) {
+      Real s = 0;
+      for (size_t pi = 0; pi < pat.size(); ++pi) {
+        const Idx k = pat[pi];
+        if (shape.owner_col(k) != shape.col_of(member)) continue;
+        const Idx off =
+            lu.sym.below_offset[static_cast<size_t>(k)][static_cast<size_t>(pidx[pi])];
+        s += lu.lpanel[static_cast<size_t>(k)][static_cast<size_t>(off)] *
+             y_ref[static_cast<size_t>(k)];
+      }
+      return s;
+    };
+    Real lsum = partial(t.root());
+    for (int r = 0; r < P; ++r) {
+      if (r != t.root() && t.contains(r)) lsum += partial(r);
+    }
+    y_ref[static_cast<size_t>(i)] =
+        lu.diag_linv[static_cast<size_t>(i)].at(0) * (b[static_cast<size_t>(i)] - lsum);
+  }
+  EXPECT_TRUE(bitwise_equal(y_dist, y_ref));
+}
+
+// ---------------------------------------------------------------------------
+// Property suite: ~20 random systems, every solver, two deterministic runs
+// bitwise identical; perturbation seeds move timings but nothing else.
+// ---------------------------------------------------------------------------
+
+class DeterminismProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminismProperty, SolversAreBitReproducible) {
+  const auto sys = random_system(GetParam());
+  SCOPED_TRACE(sys.name);
+  const auto b = random_rhs(sys.a.rows(), sys.nrhs, GetParam() ^ 0xb);
+
+  for (const auto alg : {Algorithm3d::kProposed, Algorithm3d::kBaseline}) {
+    SolveConfig cfg;
+    cfg.shape = sys.shape;
+    cfg.algorithm = alg;
+    cfg.nrhs = sys.nrhs;
+    cfg.run = kDet;
+    const auto out1 = solve_system_3d(sys.fs, b, cfg, test_machine());
+    const auto out2 = solve_system_3d(sys.fs, b, cfg, test_machine());
+    EXPECT_TRUE(outcomes_identical(out1, out2));
+    EXPECT_EQ(out1.run_stats.fingerprint(), out2.run_stats.fingerprint());
+    EXPECT_EQ(out1.makespan, out2.makespan);
+    // The solution itself must not depend on arrival order at all: the
+    // free-running mode has to produce the same bits.
+    cfg.run = RunOptions{};
+    const auto out_free = solve_system_3d(sys.fs, b, cfg, test_machine());
+    EXPECT_TRUE(bitwise_equal(out1.x, out_free.x));
+  }
+}
+
+TEST_P(DeterminismProperty, PerturbationsMoveOnlyTimings) {
+  const auto sys = random_system(GetParam());
+  SCOPED_TRACE(sys.name);
+  const auto b = random_rhs(sys.a.rows(), sys.nrhs, GetParam() ^ 0xc);
+
+  SolveConfig cfg;
+  cfg.shape = sys.shape;
+  cfg.nrhs = sys.nrhs;
+  cfg.run = kDet;
+  const auto base = solve_system_3d(sys.fs, b, cfg, test_machine());
+
+  const MachineModel pm = perturbed_machine();
+  bool some_timing_moved = false;
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    cfg.run = RunOptions{.deterministic = true, .seed = seed};
+    const auto out = solve_system_3d(sys.fs, b, cfg, pm);
+    // Solutions and message counts are invariant under any perturbation...
+    EXPECT_TRUE(bitwise_equal(base.x, out.x)) << "seed " << seed;
+    EXPECT_TRUE(message_counts_identical(base.run_stats, out.run_stats))
+        << "seed " << seed;
+    // ...and a perturbed run is itself reproducible.
+    const auto out2 = solve_system_3d(sys.fs, b, cfg, pm);
+    EXPECT_TRUE(outcomes_identical(out, out2)) << "seed " << seed;
+    if (out.makespan != base.makespan) some_timing_moved = true;
+  }
+  EXPECT_TRUE(some_timing_moved)
+      << "perturbations (jitter+delay+skew) never changed the makespan";
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSystems, DeterminismProperty,
+                         ::testing::Range<std::uint64_t>(0, 20),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// The communication building blocks on their own.
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, SparseAllreduceBitReproducible) {
+  const NdTree tree = shape_tree(3);
+  auto run_once = [&](const MachineModel& m, const RunOptions& opts) {
+    std::vector<std::vector<Real>> payloads(
+        static_cast<size_t>(tree.num_leaves()));
+    const auto stats = Cluster::run(
+        tree.num_leaves(), m,
+        [&](Comm& c) {
+          std::vector<std::vector<Real>> storage;
+          std::vector<ReduceSegment> segs;
+          for (Idx id : tree.path_to_root(tree.leaf_node_id(c.rank()))) {
+            if (tree.node(id).depth >= tree.levels()) continue;
+            auto& buf = storage.emplace_back(8, 0.0);
+            for (size_t i = 0; i < buf.size(); ++i) {
+              buf[i] = 0.1 * static_cast<Real>(c.rank() + 1) + 0.01 * i;
+            }
+            segs.push_back({id, buf});
+          }
+          sparse_allreduce(c, tree, segs);
+          std::vector<Real> flat;
+          for (const auto& s : storage) flat.insert(flat.end(), s.begin(), s.end());
+          payloads[static_cast<size_t>(c.rank())] = std::move(flat);
+        },
+        opts);
+    return std::pair(stats, payloads);
+  };
+  const auto [s1, p1] = run_once(test_machine(), kDet);
+  const auto [s2, p2] = run_once(test_machine(), kDet);
+  EXPECT_TRUE(stats_identical(s1, s2));
+  for (size_t r = 0; r < p1.size(); ++r) EXPECT_TRUE(bitwise_equal(p1[r], p2[r]));
+  // Perturbed run: same reduced values, same counts, different clock bits.
+  const auto [s3, p3] =
+      run_once(perturbed_machine(), RunOptions{.deterministic = true, .seed = 7});
+  EXPECT_TRUE(message_counts_identical(s1, s3));
+  for (size_t r = 0; r < p1.size(); ++r) EXPECT_TRUE(bitwise_equal(p1[r], p3[r]));
+}
+
+TEST(Determinism, TreeBroadcastBitReproducible) {
+  // The binary-tree broadcast inside a 2D L-solve (13x1 grid: rank 0's
+  // column-0 broadcast spans every rank), run twice deterministically.
+  const Idx n = 13;
+  const CsrMatrix a = make_banded(n, n - 1);
+  const auto parent = elimination_tree(a);
+  const auto counts = cholesky_col_counts(a, parent);
+  SupernodeOptions opt;
+  opt.max_width = 1;
+  opt.relax_width = 0;
+  const SupernodalLU lu =
+      factor_supernodal(a, block_symbolic(a, find_supernodes(parent, counts, opt)));
+  std::vector<Idx> cols(static_cast<size_t>(n));
+  for (Idx k = 0; k < n; ++k) cols[static_cast<size_t>(k)] = k;
+  const Solve2dPlan plan =
+      Solve2dPlan::build(lu, {static_cast<int>(n), 1}, TreeKind::kBinary, cols, {});
+  const auto b = random_rhs(n, 1, 5);
+  VecMap b_map;
+  for (Idx i = 0; i < n; ++i) b_map[i] = {b[static_cast<size_t>(i)]};
+
+  auto run_once = [&] {
+    std::vector<Real> y(static_cast<size_t>(n), 0.0);
+    const auto stats = Cluster::run(
+        static_cast<int>(n), test_machine(),
+        [&](Comm& c) {
+          const auto res = solve_l_2d(c, plan, b_map, {}, 1, 0);
+          for (const auto& [i, yv] : res.y) y[static_cast<size_t>(i)] = yv.at(0);
+        },
+        kDet);
+    return std::pair(stats, y);
+  };
+  const auto [s1, y1] = run_once();
+  const auto [s2, y2] = run_once();
+  EXPECT_TRUE(stats_identical(s1, s2));
+  EXPECT_TRUE(bitwise_equal(y1, y2));
+}
+
+}  // namespace
+}  // namespace sptrsv

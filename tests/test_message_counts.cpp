@@ -7,30 +7,17 @@
 #include "sparse/generators.hpp"
 #include "sparse/paper_matrices.hpp"
 #include "symbolic/colcounts.hpp"
+#include "test_support.hpp"
 
 namespace sptrsv {
 namespace {
 
+using test::shape_tree;
+using test::test_machine;
+
 /// The paper's complexity claims are about *message counts*, which the
 /// runtime records exactly (real messages, not modeled ones). These tests
 /// pin them down.
-
-NdTree shape_tree(int levels) {
-  const Idx n_nodes = (Idx{1} << (levels + 1)) - 1;
-  std::vector<NdNode> nodes(static_cast<size_t>(n_nodes));
-  for (Idx id = 0; id < n_nodes; ++id) {
-    auto& nd = nodes[static_cast<size_t>(id)];
-    if (id > 0) nd.parent = (id - 1) / 2;
-    int d = 0;
-    for (Idx v = id; v > 0; v = (v - 1) / 2) ++d;
-    nd.depth = d;
-    if (d < levels) {
-      nd.left = 2 * id + 1;
-      nd.right = 2 * id + 2;
-    }
-  }
-  return NdTree(levels, std::move(nodes));
-}
 
 TEST(MessageCounts, SparseAllreduceIsLogPz) {
   // Algorithm 2's claim: O(log Pz) pairwise sends per process, everything
@@ -39,7 +26,7 @@ TEST(MessageCounts, SparseAllreduceIsLogPz) {
   for (int levels = 1; levels <= 5; ++levels) {
     const NdTree tree = shape_tree(levels);
     const auto res =
-        Cluster::run(tree.num_leaves(), MachineModel::cori_haswell(), [&](Comm& c) {
+        Cluster::run(tree.num_leaves(), test_machine(), [&](Comm& c) {
           std::vector<std::vector<Real>> storage;
           std::vector<ReduceSegment> segs;
           for (Idx id : tree.path_to_root(tree.leaf_node_id(c.rank()))) {
@@ -76,7 +63,7 @@ TEST(MessageCounts, BinaryTreeBoundsRootFanout) {
     for (Idx k = 0; k < 13; ++k) cols[static_cast<size_t>(k)] = k;
     const Solve2dPlan plan = Solve2dPlan::build(lu, {13, 1}, kind, cols, {});
     std::int64_t rank0 = 0;
-    Cluster::run(13, MachineModel::cori_haswell(), [&](Comm& c) {
+    Cluster::run(13, test_machine(), [&](Comm& c) {
       solve_l_2d(c, plan, {}, {}, 1, 0);
       if (c.rank() == 0) rank0 = c.messages_sent(TimeCategory::kXyComm);
     });
@@ -101,7 +88,7 @@ TEST(MessageCounts, ProposedSendsFewerZMessagesThanBaseline) {
   const NdTree tree = coarsen_nd_tree(fs.tree, 3);
   std::int64_t proposed_total = 0;
   {
-    const auto res = Cluster::run(8, MachineModel::cori_haswell(), [&](Comm& c) {
+    const auto res = Cluster::run(8, test_machine(), [&](Comm& c) {
       std::vector<std::vector<Real>> storage;
       std::vector<ReduceSegment> segs;
       for (Idx id : tree.path_to_root(tree.leaf_node_id(c.rank()))) {
@@ -133,7 +120,7 @@ TEST(MessageCounts, ProposedSendsFewerZMessagesThanBaseline) {
 }
 
 TEST(MessageCounts, ResetClockZeroesCounters) {
-  Cluster::run(2, MachineModel::cori_haswell(), [](Comm& c) {
+  Cluster::run(2, test_machine(), [](Comm& c) {
     if (c.rank() == 0) {
       c.send(1, 0, {1.0, 2.0}, TimeCategory::kXyComm);
       EXPECT_EQ(c.messages_sent(TimeCategory::kXyComm), 1);
@@ -148,7 +135,7 @@ TEST(MessageCounts, ResetClockZeroesCounters) {
 }
 
 TEST(MessageCounts, StatsExposeCounters) {
-  const auto res = Cluster::run(2, MachineModel::cori_haswell(), [](Comm& c) {
+  const auto res = Cluster::run(2, test_machine(), [](Comm& c) {
     if (c.rank() == 0) c.send(1, 0, std::vector<Real>(10, 1.0), TimeCategory::kZComm);
     if (c.rank() == 1) c.recv(0, 0);
   });

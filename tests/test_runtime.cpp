@@ -4,14 +4,12 @@
 #include <numeric>
 
 #include "runtime/cluster.hpp"
+#include "test_support.hpp"
 
 namespace sptrsv {
 namespace {
 
-MachineModel test_machine() {
-  MachineModel m = MachineModel::cori_haswell();
-  return m;
-}
+using test::test_machine;
 
 TEST(Runtime, PingPong) {
   const auto res = Cluster::run(2, test_machine(), [](Comm& c) {

@@ -6,23 +6,13 @@
 #include "factor/sptrsv_seq.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/paper_matrices.hpp"
+#include "test_support.hpp"
 
 namespace sptrsv {
 namespace {
 
-std::vector<Real> random_rhs(Idx n, Idx nrhs, std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  std::uniform_real_distribution<Real> uni(-1.0, 1.0);
-  std::vector<Real> b(static_cast<size_t>(n) * nrhs);
-  for (auto& v : b) v = uni(rng);
-  return b;
-}
-
-Real max_abs_diff(std::span<const Real> a, std::span<const Real> b) {
-  Real worst = 0;
-  for (size_t i = 0; i < a.size(); ++i) worst = std::max(worst, std::abs(a[i] - b[i]));
-  return worst;
-}
+using test::max_abs_diff;
+using test::random_rhs;
 
 struct Case {
   Grid3dShape shape;

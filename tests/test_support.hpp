@@ -1,0 +1,199 @@
+#pragma once
+/// \file test_support.hpp
+/// \brief Shared fixtures for the test suite: the canonical test machine,
+/// seeded random matrix / grid-shape / RHS generators, a synthetic NdTree
+/// builder, and bitwise outcome-comparison helpers for the determinism
+/// suite. Every generator takes an explicit seed so a failing case replays
+/// exactly (see docs/DETERMINISM.md).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/sptrsv3d.hpp"
+#include "factor/supernodal_lu.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "sparse/generators.hpp"
+
+namespace sptrsv::test {
+
+/// The machine every unit test models unless it needs something else.
+inline MachineModel test_machine() { return MachineModel::cori_haswell(); }
+
+/// Test machine with every perturbation knob enabled; `seed` goes into
+/// RunOptions, not here (one machine, many seeds).
+inline MachineModel perturbed_machine(double latency_jitter = 0.5,
+                                      double delivery_delay = 2e-6,
+                                      double compute_skew = 0.3) {
+  MachineModel m = test_machine();
+  m.perturb.latency_jitter = latency_jitter;
+  m.perturb.delivery_delay = delivery_delay;
+  m.perturb.compute_skew = compute_skew;
+  return m;
+}
+
+/// Seeded dense RHS, n x nrhs column-major in [-1, 1).
+inline std::vector<Real> random_rhs(Idx n, Idx nrhs, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<Real> uni(-1.0, 1.0);
+  std::vector<Real> b(static_cast<size_t>(n) * static_cast<size_t>(nrhs));
+  for (auto& v : b) v = uni(rng);
+  return b;
+}
+
+inline Real max_abs_diff(std::span<const Real> a, std::span<const Real> b) {
+  Real worst = 0;
+  for (size_t i = 0; i < a.size(); ++i) worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+/// Exact (bitwise) equality of two Real spans — the determinism tests
+/// compare solutions this way, not with a tolerance.
+inline ::testing::AssertionResult bitwise_equal(std::span<const Real> a,
+                                                std::span<const Real> b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "sizes differ: " << a.size() << " vs " << b.size();
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(Real)) != 0) {
+      return ::testing::AssertionFailure()
+             << "element " << i << " differs: " << a[i] << " vs " << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Complete binary NdTree with `levels` levels of separators (2^levels
+/// leaves) and no rows attached — enough shape for tree/allreduce tests.
+inline NdTree shape_tree(int levels) {
+  const Idx n_nodes = (Idx{1} << (levels + 1)) - 1;
+  std::vector<NdNode> nodes(static_cast<size_t>(n_nodes));
+  for (Idx id = 0; id < n_nodes; ++id) {
+    auto& nd = nodes[static_cast<size_t>(id)];
+    if (id > 0) nd.parent = (id - 1) / 2;
+    int d = 0;
+    for (Idx v = id; v > 0; v = (v - 1) / 2) ++d;
+    nd.depth = d;
+    if (d < levels) {
+      nd.left = 2 * id + 1;
+      nd.right = 2 * id + 2;
+    }
+  }
+  return NdTree(levels, std::move(nodes));
+}
+
+/// One randomly drawn solve problem: matrix, factorization, 3D layout and
+/// RHS width, all a pure function of `seed`.
+struct RandomSystem {
+  CsrMatrix a;
+  FactoredSystem fs;
+  Grid3dShape shape;
+  Idx nrhs = 1;
+  std::string name;
+};
+
+inline RandomSystem random_system(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto pick = [&](int lo, int hi) {  // inclusive
+    return static_cast<int>(rng() % static_cast<std::uint64_t>(hi - lo + 1)) + lo;
+  };
+  RandomSystem s;
+  switch (pick(0, 2)) {
+    case 0: {
+      const Idx nx = pick(8, 18), ny = pick(8, 18);
+      s.a = make_grid2d(nx, ny, Stencil2d::kNinePoint);
+      s.name = "grid2d_" + std::to_string(nx) + "x" + std::to_string(ny);
+      break;
+    }
+    case 1: {
+      const Idx n = pick(40, 120);
+      s.a = make_random_symmetric(n, 3.0, rng());
+      s.name = "randsym_" + std::to_string(n);
+      break;
+    }
+    default: {
+      const Idx n = pick(20, 40);
+      const Idx bw = pick(2, 6);
+      s.a = make_banded(n, bw, rng());
+      s.name = "banded_" + std::to_string(n) + "_bw" + std::to_string(bw);
+      break;
+    }
+  }
+  const int nd_levels = pick(2, 3);
+  s.fs = analyze_and_factor(s.a, nd_levels);
+  const int pz_pow = pick(0, std::min(2, nd_levels));
+  s.shape.pz = 1 << pz_pow;
+  s.shape.px = pick(1, 3);
+  s.shape.py = pick(1, 3);
+  s.nrhs = pick(1, 3);
+  s.name += "_p" + std::to_string(s.shape.px) + "x" + std::to_string(s.shape.py) +
+            "x" + std::to_string(s.shape.pz) + "_r" + std::to_string(s.nrhs) +
+            "_seed" + std::to_string(seed);
+  return s;
+}
+
+/// Bitwise comparison of two runtime result sets (clocks, category times,
+/// message/byte counts). This is what "deterministic" means here.
+inline ::testing::AssertionResult stats_identical(const Cluster::Result& a,
+                                                  const Cluster::Result& b) {
+  if (a.ranks.size() != b.ranks.size()) {
+    return ::testing::AssertionFailure() << "rank counts differ";
+  }
+  for (size_t r = 0; r < a.ranks.size(); ++r) {
+    if (std::memcmp(&a.ranks[r], &b.ranks[r], sizeof(RankStats)) != 0) {
+      return ::testing::AssertionFailure()
+             << "rank " << r << " stats differ (vtime " << a.ranks[r].vtime << " vs "
+             << b.ranks[r].vtime << ", fingerprints " << a.fingerprint() << " vs "
+             << b.fingerprint() << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Message/byte counters only (the perturbation-invariance check: counts
+/// must match even when every timing moved).
+inline ::testing::AssertionResult message_counts_identical(const Cluster::Result& a,
+                                                           const Cluster::Result& b) {
+  if (a.ranks.size() != b.ranks.size()) {
+    return ::testing::AssertionFailure() << "rank counts differ";
+  }
+  for (size_t r = 0; r < a.ranks.size(); ++r) {
+    for (int c = 0; c < kNumTimeCategories; ++c) {
+      if (a.ranks[r].messages[c] != b.ranks[r].messages[c] ||
+          a.ranks[r].bytes[c] != b.ranks[r].bytes[c]) {
+        return ::testing::AssertionFailure()
+               << "rank " << r << " category " << c << " counts differ: "
+               << a.ranks[r].messages[c] << "/" << a.ranks[r].bytes[c] << " vs "
+               << b.ranks[r].messages[c] << "/" << b.ranks[r].bytes[c];
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Full bitwise comparison of two distributed-solve outcomes: solution,
+/// per-rank phase times and raw runtime statistics.
+inline ::testing::AssertionResult outcomes_identical(const DistSolveOutcome& a,
+                                                     const DistSolveOutcome& b) {
+  if (auto r = bitwise_equal(a.x, b.x); !r) {
+    return ::testing::AssertionFailure() << "solutions differ: " << r.message();
+  }
+  if (a.rank_times.size() != b.rank_times.size()) {
+    return ::testing::AssertionFailure() << "rank_times sizes differ";
+  }
+  for (size_t r = 0; r < a.rank_times.size(); ++r) {
+    if (std::memcmp(&a.rank_times[r], &b.rank_times[r], sizeof(RankPhaseTimes)) != 0) {
+      return ::testing::AssertionFailure() << "rank " << r << " phase times differ";
+    }
+  }
+  return stats_identical(a.run_stats, b.run_stats);
+}
+
+}  // namespace sptrsv::test
