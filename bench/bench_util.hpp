@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -19,6 +20,7 @@
 #include "factor/sptrsv_seq.hpp"
 #include "gpusim/gpu_sptrsv.hpp"
 #include "sparse/paper_matrices.hpp"
+#include "trace/trace.hpp"
 
 namespace sptrsv::bench {
 
@@ -36,6 +38,13 @@ inline MatrixScale bench_scale() {
   return small ? MatrixScale::kSmall : MatrixScale::kMedium;
 }
 
+/// SPTRSV_BENCH_TRACE=<dir> dumps one Perfetto trace JSON per sweep point
+/// into <dir> (docs/OBSERVABILITY.md). Empty string: tracing off.
+inline std::string bench_trace_dir() {
+  const char* v = std::getenv("SPTRSV_BENCH_TRACE");
+  return (v != nullptr) ? std::string(v) : std::string();
+}
+
 /// SPTRSV_BENCH_DETERMINISTIC=1 runs every solve in the deterministic
 /// scheduler mode: slower (ranks serialize on the run token), but two runs
 /// of a bench print byte-identical tables (docs/DETERMINISM.md).
@@ -43,6 +52,7 @@ inline RunOptions bench_run_options() {
   const char* v = std::getenv("SPTRSV_BENCH_DETERMINISTIC");
   RunOptions opts;
   opts.deterministic = v != nullptr && v[0] != '\0' && v[0] != '0';
+  opts.trace = !bench_trace_dir().empty();
   return opts;
 }
 
@@ -50,6 +60,28 @@ inline RunOptions bench_run_options() {
 inline void print_mode_banner() {
   if (bench_run_options().deterministic) {
     std::printf("# deterministic scheduler: repeated runs are byte-identical\n");
+  }
+  const std::string tdir = bench_trace_dir();
+  if (!tdir.empty()) {
+    std::printf("# tracing: one Perfetto JSON per sweep point under %s/\n",
+                tdir.c_str());
+  }
+}
+
+/// Writes `trace` as Perfetto JSON into the SPTRSV_BENCH_TRACE directory as
+/// NNN_<stem>.json (NNN = per-process sweep-point counter). No-op when the
+/// env var is unset or `trace` is null.
+inline void maybe_dump_trace(const Trace* trace, const std::string& stem) {
+  const std::string dir = bench_trace_dir();
+  if (dir.empty() || trace == nullptr) return;
+  static int counter = 0;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  char prefix[16];
+  std::snprintf(prefix, sizeof(prefix), "%03d_", counter++);
+  const std::string path = dir + "/" + prefix + stem + ".json";
+  if (!trace->write_chrome_json_file(path)) {
+    std::fprintf(stderr, "warning: failed to write trace %s\n", path.c_str());
   }
 }
 
@@ -97,7 +129,12 @@ inline DistSolveOutcome run_cpu(const FactoredSystem& fs, const Grid3dShape& sha
   cfg.sparse_zreduce = sparse_zreduce;
   cfg.run = bench_run_options();
   const auto b = bench_rhs(fs.lu.n(), nrhs);
-  return solve_system_3d(fs, b, cfg, machine);
+  DistSolveOutcome out = solve_system_3d(fs, b, cfg, machine);
+  maybe_dump_trace(out.run_stats.trace.get(),
+                   std::string(alg == Algorithm3d::kProposed ? "new" : "base") + "_" +
+                       std::to_string(shape.px) + "x" + std::to_string(shape.py) +
+                       "x" + std::to_string(shape.pz));
+  return out;
 }
 
 /// Picks (px, py) as square as possible with px*py = p2d (paper Fig 4:

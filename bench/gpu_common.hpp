@@ -31,10 +31,16 @@ inline void run_gpu_1x1xpz_figure(const char* figure, const MachineModel& machin
         GpuSolveConfig cfg;
         cfg.shape = {1, 1, pz};
         cfg.nrhs = nrhs;
+        cfg.trace = !bench_trace_dir().empty();
         cfg.backend = GpuBackend::kCpu;
         const auto cpu = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, machine);
         cfg.backend = GpuBackend::kGpu;
         const auto gpu = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, machine);
+        const std::string stem_tail = paper_matrix_name(which) + "_1x1x" +
+                                      std::to_string(pz) + "_r" +
+                                      std::to_string(nrhs);
+        maybe_dump_trace(cpu.trace.get(), "cpu_" + stem_tail);
+        maybe_dump_trace(gpu.trace.get(), "gpu_" + stem_tail);
         const double speedup = cpu.total / gpu.total;
         best = std::max(best, speedup);
         t.add_row({std::to_string(pz), fmt_time(cpu.total), fmt_time(cpu.l_solve),

@@ -17,10 +17,11 @@ inline void run_loadbalance_figure(const char* figure, PaperMatrix which) {
 
   std::printf("# %s — load balance of %s on %s: L/U solve time across ranks\n",
               figure, paper_matrix_name(which).c_str(), machine.name.c_str());
-  std::printf("# (min / mean / max over MPI ranks; Z-Comm time excluded)\n");
+  std::printf("# (min / mean / max / p99 / imbalance over MPI ranks; Z-Comm excluded)\n");
   for (const int p : {128, 1024}) {
     std::printf("\n## P = %d\n", p);
-    Table t({"alg", "Pz", "L min", "L mean", "L max", "U min", "U mean", "U max"});
+    Table t({"alg", "Pz", "L min", "L mean", "L max", "L p99", "L imb", "U min",
+             "U mean", "U max", "U p99", "U imb"});
     for (const auto alg : {Algorithm3d::kBaseline, Algorithm3d::kProposed}) {
       const TreeKind tree =
           alg == Algorithm3d::kBaseline ? TreeKind::kFlat : TreeKind::kBinary;
@@ -28,22 +29,22 @@ inline void run_loadbalance_figure(const char* figure, PaperMatrix which) {
         if (p % pz != 0) continue;
         const auto [px, py] = square_grid(p / pz);
         const auto out = run_cpu(fs, {px, py, pz}, alg, machine, 1, tree);
-        auto l_of = [](const RankPhaseTimes& r) { return r.l_solve(); };
-        auto u_of = [](const RankPhaseTimes& r) { return r.u_solve(); };
-        double lmin = 1e300, lmax = 0, lsum = 0, umin = 1e300, umax = 0, usum = 0;
+        // Per-rank L/U phase times summarized by the runtime's Spread helper
+        // (nearest-rank percentiles, max/mean imbalance).
+        std::vector<double> l_times, u_times;
+        l_times.reserve(out.rank_times.size());
+        u_times.reserve(out.rank_times.size());
         for (const auto& r : out.rank_times) {
-          lmin = std::min(lmin, l_of(r));
-          lmax = std::max(lmax, l_of(r));
-          lsum += l_of(r);
-          umin = std::min(umin, u_of(r));
-          umax = std::max(umax, u_of(r));
-          usum += u_of(r);
+          l_times.push_back(r.l_solve());
+          u_times.push_back(r.u_solve());
         }
-        const double n = static_cast<double>(out.rank_times.size());
+        const Spread l = spread_over(l_times);
+        const Spread u = spread_over(u_times);
         t.add_row({alg == Algorithm3d::kBaseline ? "baseline" : "proposed",
-                   std::to_string(pz), fmt_time(lmin), fmt_time(lsum / n),
-                   fmt_time(lmax), fmt_time(umin), fmt_time(usum / n),
-                   fmt_time(umax)});
+                   std::to_string(pz), fmt_time(l.min), fmt_time(l.mean),
+                   fmt_time(l.max), fmt_time(l.p99), fmt_ratio(l.imbalance()),
+                   fmt_time(u.min), fmt_time(u.mean), fmt_time(u.max),
+                   fmt_time(u.p99), fmt_ratio(u.imbalance())});
       }
     }
     t.print();

@@ -5,7 +5,7 @@
 ///   sptrsv_cli [--matrix NAME|file.mtx] [--scale tiny|small|medium]
 ///              [--shape PXxPYxPZ] [--alg new|baseline] [--tree binary|flat]
 ///              [--machine cori|perlmutter|crusher] [--nrhs N]
-///              [--backend cpu|gpu] [--refine] [--csv]
+///              [--backend cpu|gpu] [--refine] [--csv] [--trace FILE]
 ///
 /// Examples:
 ///   sptrsv_cli --matrix s2D9pt2048 --shape 4x4x8 --alg new
@@ -18,6 +18,7 @@
 
 #include "core/refinement.hpp"
 #include "core/sptrsv3d.hpp"
+#include "trace/trace.hpp"
 #include "factor/sptrsv_seq.hpp"
 #include "gpusim/gpu_sptrsv.hpp"
 #include "sparse/mmio.hpp"
@@ -33,7 +34,7 @@ namespace {
                "          [--shape PXxPYxPZ] [--alg new|baseline] [--tree "
                "binary|flat]\n"
                "          [--machine cori|perlmutter|crusher] [--nrhs N]\n"
-               "          [--backend cpu|gpu] [--refine] [--csv]\n",
+               "          [--backend cpu|gpu] [--refine] [--csv] [--trace FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -62,6 +63,7 @@ int main(int argc, char** argv) {
   std::string machine_name = "cori";
   Idx nrhs = 1;
   bool gpu = false, refine = false, csv = false;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -95,6 +97,8 @@ int main(int argc, char** argv) {
       refine = true;
     } else if (a == "--csv") {
       csv = true;
+    } else if (a == "--trace") {
+      trace_path = next();
     } else {
       usage(argv[0]);
     }
@@ -121,7 +125,12 @@ int main(int argc, char** argv) {
     cfg.shape = shape;
     cfg.nrhs = nrhs;
     cfg.backend = GpuBackend::kGpu;
+    cfg.trace = !trace_path.empty();
     const GpuSolveTimes t = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, machine);
+    if (!trace_path.empty() && !t.trace->write_chrome_json_file(trace_path)) {
+      std::fprintf(stderr, "failed to write trace %s\n", trace_path.c_str());
+      return 1;
+    }
     if (csv) {
       std::printf("%s,%dx%dx%d,gpu,%s,%d,%.6e,%.6e,%.6e,%.6e\n", matrix.c_str(),
                   shape.px, shape.py, shape.pz, machine.name.c_str(),
@@ -138,6 +147,7 @@ int main(int argc, char** argv) {
   cfg.algorithm = alg;
   cfg.tree = tree;
   cfg.nrhs = nrhs;
+  cfg.run.trace = !trace_path.empty() && !refine;
 
   if (refine) {
     const RefinementResult r = iterative_refinement(a, fs, b, cfg, machine);
@@ -156,6 +166,11 @@ int main(int argc, char** argv) {
   }
 
   const DistSolveOutcome out = solve_system_3d(fs, b, cfg, machine);
+  if (cfg.run.trace &&
+      !out.run_stats.trace->write_chrome_json_file(trace_path)) {
+    std::fprintf(stderr, "failed to write trace %s\n", trace_path.c_str());
+    return 1;
+  }
   const Real resid = relative_residual(a, out.x, b, nrhs);
   if (csv) {
     std::printf("%s,%dx%dx%d,%s,%s,%d,%.6e,%.3e\n", matrix.c_str(), shape.px, shape.py,

@@ -95,6 +95,7 @@ void sparse_allreduce(Comm& zcomm, const NdTree& tree,
     if (z % (1 << l) != 0) break;  // went inactive at an earlier level
     const auto shared = shared_at_level(tree, segments, l);
     if (shared.empty()) continue;
+    const TraceSpan level_span = zcomm.annotate("zreduce", l);
     const int partner = z ^ (1 << l);
     if (z & (1 << l)) {
       zcomm.send(partner, kTagSparseReduce, pack(shared), cat);
@@ -110,6 +111,7 @@ void sparse_allreduce(Comm& zcomm, const NdTree& tree,
     if (z % (1 << l) != 0) continue;  // participates only from its level down
     const auto shared = shared_at_level(tree, segments, l);
     if (shared.empty()) continue;
+    const TraceSpan level_span = zcomm.annotate("zbcast", l);
     const int partner = z ^ (1 << l);
     if (z & (1 << l)) {
       const Message m = zcomm.recv(partner, kTagSparseBcast, cat);
@@ -135,6 +137,7 @@ void dense_allreduce_per_node(Comm& zcomm, const NdTree& tree,
     const double len = zcomm.allreduce_max(mine ? static_cast<double>(mine->values.size()) : 0.0);
     const auto n = static_cast<size_t>(len);
     if (n == 0) continue;
+    const TraceSpan node_span = zcomm.annotate("dense_zreduce", static_cast<std::int64_t>(id));
     std::vector<Real> contrib(n, 0.0);
     if (mine) std::copy(mine->values.begin(), mine->values.end(), contrib.begin());
     const std::vector<Real> sum = zcomm.allreduce_sum(contrib, cat);

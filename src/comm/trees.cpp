@@ -51,12 +51,18 @@ std::span<const int> CommTree::children_of(int rank) const {
   return children_[static_cast<size_t>(it->second)];
 }
 
+int CommTree::depth_of(int rank) const {
+  const auto it = pos_.find(rank);
+  if (it == pos_.end()) throw std::out_of_range("CommTree::depth_of: not a member");
+  int hops = 0;
+  for (int v = it->second; v != 0; v = pos_.at(parent_[static_cast<size_t>(v)])) ++hops;
+  return hops;
+}
+
 int CommTree::depth() const {
   int d = 0;
   for (int p = 0; p < num_members(); ++p) {
-    int hops = 0;
-    for (int v = p; v != 0; v = pos_.at(parent_[static_cast<size_t>(v)])) ++hops;
-    d = std::max(d, hops);
+    d = std::max(d, depth_of(ordered_[static_cast<size_t>(p)]));
   }
   return d;
 }

@@ -46,6 +46,9 @@ class CommTree {
   /// Number of children (reduction readiness counting).
   int num_children(int rank) const { return static_cast<int>(children_of(rank).size()); }
 
+  /// Hop count from the root down to `rank` (0 for the root itself) —
+  /// trace annotations label relay sends with their tree depth.
+  int depth_of(int rank) const;
   /// Longest root-to-leaf hop count (0 for a singleton).
   int depth() const;
 

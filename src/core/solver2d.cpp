@@ -29,6 +29,7 @@ LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_l
   const int myrow = shape.row_of(me);
   const int mycol = shape.col_of(me);
   const Idx nsup_window = static_cast<Idx>(lu.num_supernodes());
+  const TraceSpan solve_span = grid.annotate("solve_l_2d", tag_base);
 
   LSolve2dResult result;
 
@@ -76,10 +77,14 @@ LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_l
   auto process_y = [&](Idx cp, std::span<const Real> yk) {
     const Idx k = plan.cols()[static_cast<size_t>(cp)];
     const TreeView t = plan.l_bcast(cp);
-    t.for_each_child(me, [&](int child) {
-      grid.send(child, tag_base + 4 * static_cast<int>(k) + kKindYsol,
-                std::vector<Real>(yk.begin(), yk.end()), cat);
-    });
+    {
+      // Span arg = my depth in the broadcast tree (relay stage number).
+      const TraceSpan bcast_span = grid.annotate("l_bcast", t.depth_of(me));
+      t.for_each_child(me, [&](int child) {
+        grid.send(child, tag_base + 4 * static_cast<int>(k) + kKindYsol,
+                  std::vector<Real>(yk.begin(), yk.end()), cat);
+      });
+    }
     if (shape.owner_col(k) != mycol) return;
     // Charge the gemm time for my blocks in this column now (the compute
     // overlaps the remaining traffic), but defer the numeric fold to row
@@ -96,6 +101,7 @@ LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_l
 
   auto complete_row = [&](Idx rp) {
     const Idx i = plan.rows()[static_cast<size_t>(rp)];
+    const TraceSpan row_span = grid.annotate("l_row", static_cast<std::int64_t>(i));
     const TreeView t = plan.l_reduce(rp);
     auto& st = rowstate.at(rp);
     // Reduce in plan order: carry-in first, then my blocks by ascending
@@ -211,6 +217,7 @@ USolve2dResult solve_u_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& y_l
   const int myrow = shape.row_of(me);
   const int mycol = shape.col_of(me);
   const Idx nsup_window = static_cast<Idx>(lu.num_supernodes());
+  const TraceSpan solve_span = grid.annotate("solve_u_2d", tag_base);
 
   USolve2dResult result;
 
@@ -252,10 +259,14 @@ USolve2dResult solve_u_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& y_l
   auto process_x = [&](Idx rp, std::span<const Real> xi) {
     const Idx i = plan.rows()[static_cast<size_t>(rp)];
     const TreeView t = plan.u_bcast(rp);
-    t.for_each_child(me, [&](int child) {
-      grid.send(child, tag_base + 4 * static_cast<int>(i) + kKindXsol,
-                std::vector<Real>(xi.begin(), xi.end()), cat);
-    });
+    {
+      // Span arg = my depth in the broadcast tree (relay stage number).
+      const TraceSpan bcast_span = grid.annotate("u_bcast", t.depth_of(me));
+      t.for_each_child(me, [&](int child) {
+        grid.send(child, tag_base + 4 * static_cast<int>(i) + kKindXsol,
+                  std::vector<Real>(xi.begin(), xi.end()), cat);
+      });
+    }
     if (shape.owner_col(i) != mycol) return;
     // Charge the gemm time for my blocks in this row now; the numeric
     // usum(K) += U(K,I) * x(I) fold runs at column completion, in plan
@@ -272,6 +283,7 @@ USolve2dResult solve_u_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& y_l
 
   auto complete_col = [&](Idx cp) {
     const Idx k = plan.cols()[static_cast<size_t>(cp)];
+    const TraceSpan col_span = grid.annotate("u_col", static_cast<std::int64_t>(k));
     const TreeView t = plan.u_reduce(cp);
     auto& st = colstate.at(cp);
     // Reduce in plan order: my blocks by ascending row, then child partials

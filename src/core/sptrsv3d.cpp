@@ -169,49 +169,58 @@ void run_proposed(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
 
   // 2D L-solve of the whole L^z (replicated computation, no inter-grid
   // communication).
-  LSolve2dResult lres =
-      solve_l_2d(grid, plan, b_local, {}, nrhs, tag_window(lu, 0));
+  LSolve2dResult lres;
+  {
+    const TraceSpan phase = world.annotate("phase:L", z);
+    lres = solve_l_2d(grid, plan, b_local, {}, nrhs, tag_window(lu, 0));
+  }
   const CatSnapshot after_l = CatSnapshot::take(world);
 
   // The single inter-grid synchronization: sparse allreduce of the partial
   // ancestor solutions (Algorithm 2).
-  const auto path = tree.path_to_root(tree.leaf_node_id(z));
-  std::vector<std::vector<Real>> node_bufs;
-  std::vector<std::vector<Idx>> node_sns;
-  std::vector<ReduceSegment> segments;
-  for (const Idx node : path) {
-    if (tree.node(node).depth >= tree.levels()) continue;  // leaf: not replicated
-    auto& sns = node_sns.emplace_back();
-    auto& buf = node_bufs.emplace_back();
-    const auto [lo, hi] = node_supernode_range(lu.sym, tree, node);
-    for (Idx k = lo; k < hi; ++k) {
-      if (shape.diag_owner(k) != me) continue;
-      const auto& piece = lres.y.at(k);
-      sns.push_back(k);
-      buf.insert(buf.end(), piece.begin(), piece.end());
+  {
+    const TraceSpan phase = world.annotate("phase:Z", z);
+    const auto path = tree.path_to_root(tree.leaf_node_id(z));
+    std::vector<std::vector<Real>> node_bufs;
+    std::vector<std::vector<Idx>> node_sns;
+    std::vector<ReduceSegment> segments;
+    for (const Idx node : path) {
+      if (tree.node(node).depth >= tree.levels()) continue;  // leaf: not replicated
+      auto& sns = node_sns.emplace_back();
+      auto& buf = node_bufs.emplace_back();
+      const auto [lo, hi] = node_supernode_range(lu.sym, tree, node);
+      for (Idx k = lo; k < hi; ++k) {
+        if (shape.diag_owner(k) != me) continue;
+        const auto& piece = lres.y.at(k);
+        sns.push_back(k);
+        buf.insert(buf.end(), piece.begin(), piece.end());
+      }
+      segments.push_back({node, buf});
     }
-    segments.push_back({node, buf});
-  }
-  if (ctx.cfg.sparse_zreduce) {
-    sparse_allreduce(zline, tree, segments);
-  } else {
-    dense_allreduce_per_node(zline, tree, segments);
-  }
-  // Scatter the completed sums back into the y map (RHS of the U-solve).
-  for (size_t s = 0; s < node_sns.size(); ++s) {
-    size_t off = 0;
-    for (const Idx k : node_sns[s]) {
-      auto& piece = lres.y.at(k);
-      std::copy_n(node_bufs[s].begin() + static_cast<std::ptrdiff_t>(off), piece.size(),
-                  piece.begin());
-      off += piece.size();
+    if (ctx.cfg.sparse_zreduce) {
+      sparse_allreduce(zline, tree, segments);
+    } else {
+      dense_allreduce_per_node(zline, tree, segments);
+    }
+    // Scatter the completed sums back into the y map (RHS of the U-solve).
+    for (size_t s = 0; s < node_sns.size(); ++s) {
+      size_t off = 0;
+      for (const Idx k : node_sns[s]) {
+        auto& piece = lres.y.at(k);
+        std::copy_n(node_bufs[s].begin() + static_cast<std::ptrdiff_t>(off),
+                    piece.size(), piece.begin());
+        off += piece.size();
+      }
     }
   }
   const CatSnapshot after_z = CatSnapshot::take(world);
 
   // 2D U-solve of U^z, again with no inter-grid communication.
-  USolve2dResult ures =
-      solve_u_2d(grid, plan, lres.y, {}, nrhs, tag_window(lu, 1));
+  USolve2dResult ures;
+  {
+    const TraceSpan phase = world.annotate("phase:U", z);
+    ures = solve_u_2d(grid, plan, lres.y, {}, nrhs, tag_window(lu, 1));
+  }
   const CatSnapshot after_u = CatSnapshot::take(world);
 
   // Emit my share of the solution: every grid holds the complete x for its
@@ -253,6 +262,7 @@ void run_baseline(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
   VecMap lsum_store;  // partial sums of ancestors (diag positions I hold)
   VecMap y_store;     // solutions of nodes this grid solved
   for (int s = 0; s <= levels; ++s) {
+    const TraceSpan level_span = world.annotate("l_level", s);
     if (s > 0) {
       const int bit = 1 << (s - 1);
       const auto nodes = nodes_from_step(path, s);
@@ -303,6 +313,7 @@ void run_baseline(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
   // grids that wake at the next level. ----
   VecMap x_store;  // known solutions (mine + received ancestors)
   for (int s = levels; s >= 0; --s) {
+    const TraceSpan level_span = world.annotate("u_level", s);
     const int group = 1 << s;
     if (z % group == 0) {
       const Solve2dPlan& plan =

@@ -47,6 +47,17 @@ class TreeView {
     return members_[static_cast<size_t>((p - 1) / 2)];
   }
 
+  /// Hop count from the root down to `rank` (0 for the root). `rank` must
+  /// be a member. Used to label trace annotation spans with tree depth.
+  int depth_of(int rank) const {
+    int p = pos_of(rank);
+    if (p <= 0) return 0;
+    if (kind_ == TreeKind::kFlat) return 1;
+    int hops = 0;
+    for (; p != 0; p = (p - 1) / 2) ++hops;
+    return hops;
+  }
+
   /// Number of children of `rank`.
   int num_children(int rank) const {
     int n = 0;

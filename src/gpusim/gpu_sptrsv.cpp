@@ -9,10 +9,58 @@
 
 #include "dist/solve_plan.hpp"
 #include "dist/tree_view.hpp"
+#include "trace/trace.hpp"
 
 namespace sptrsv {
 
 namespace {
+
+/// Collects the simulator's events per world GPU. Unlike the runtime's
+/// chokepoint recording, tasks here overlap in time (per-SM slots), so the
+/// resulting trace is export-only (non-contiguous).
+struct TraceSink {
+  std::vector<RankTrace> ranks;
+  std::vector<std::int64_t> seq;  // per world rank put sequence numbers
+
+  explicit TraceSink(int world)
+      : ranks(static_cast<size_t>(world)), seq(static_cast<size_t>(world), 0) {}
+
+  void task(int grank, double start, double end, const char* label, int tag) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kCompute;
+    e.cat = TimeCategory::kFp;
+    e.t0 = start;
+    e.t1 = end;
+    e.tag = tag;
+    e.label = label;
+    ranks[static_cast<size_t>(grank)].events.push_back(e);
+  }
+
+  /// One NVSHMEM put / MPI message: a zero-width send at `send_at` on the
+  /// source and a zero-width recv at `arrival` on the destination, matched
+  /// through a per-source sequence number like runtime messages.
+  void put(int src, int dst, double send_at, double arrival, std::int64_t bytes,
+           TimeCategory cat) {
+    const std::int64_t s = seq[static_cast<size_t>(src)]++;
+    TraceEvent e;
+    e.cat = cat;
+    e.bytes = bytes;
+    e.arrival = arrival;
+    e.seq = s;
+    e.kind = TraceEventKind::kSend;
+    e.t0 = e.t1 = send_at;
+    e.peer = dst;
+    ranks[static_cast<size_t>(src)].events.push_back(e);
+    e.kind = TraceEventKind::kRecv;
+    e.t0 = e.t1 = arrival;
+    e.peer = src;
+    ranks[static_cast<size_t>(dst)].events.push_back(e);
+  }
+
+  void span(int grank, const char* label, std::int64_t arg, double t0, double t1) {
+    ranks[static_cast<size_t>(grank)].spans.push_back({label, arg, t0, t1});
+  }
+};
 
 /// Min-heap of SM slot free times for one GPU.
 class SlotHeap {
@@ -65,7 +113,8 @@ enum class Phase { kL, kU };
 std::vector<double> run_phase(const Solve2dPlan& plan, Phase phase, Idx nrhs,
                               const GpuExecModel& exec, const GpuFabric& fabric,
                               int gpu_base, std::span<const double> t0,
-                              GpuScheduleMode mode) {
+                              GpuScheduleMode mode, TraceSink* sink) {
+  const char* const task_label = phase == Phase::kL ? "l_task" : "u_task";
   const auto& lu = plan.lu();
   const auto& part = lu.sym.part;
   const int px = plan.shape().px;
@@ -161,11 +210,17 @@ std::vector<double> run_phase(const Solve2dPlan& plan, Phase phase, Idx nrhs,
         const double end = start + dur;
         slots[static_cast<size_t>(g)].release(end);
         finish[static_cast<size_t>(g)] = std::max(finish[static_cast<size_t>(g)], end);
+        if (sink) sink->task(gpu_base + g, start, end, task_label, static_cast<int>(k));
         const double send_at =
             is_diag ? start + exec.task_time(t.diag_flops, nrhs) : start;
         bcast.for_each_child(g, [&](int child) {
-          fwd[static_cast<size_t>(child)] =
+          const double arrive =
               send_at + fabric.put_time(gpu_base + g, gpu_base + child, bytes);
+          fwd[static_cast<size_t>(child)] = arrive;
+          if (sink) {
+            sink->put(gpu_base + g, gpu_base + child, send_at, arrive,
+                      static_cast<std::int64_t>(bytes), TimeCategory::kXyComm);
+          }
         });
         // Feed my local rows'/columns' diagonal readiness.
         if (phase == Phase::kL) {
@@ -218,6 +273,7 @@ std::vector<double> run_phase(const Solve2dPlan& plan, Phase phase, Idx nrhs,
     const double dur = exec.task_time(t.diag_flops + t.gemv_flops, nrhs);
     const auto [start, end] = slots[static_cast<size_t>(g)].schedule(ready, dur);
     finish[static_cast<size_t>(g)] = std::max(finish[static_cast<size_t>(g)], end);
+    if (sink) sink->task(gpu_base + g, start, end, task_label, static_cast<int>(k));
 
     // Forward the solution down the broadcast tree. The diagonal task has
     // the value only after its inverse-apply; a relay forwards as soon as
@@ -226,6 +282,10 @@ std::vector<double> run_phase(const Solve2dPlan& plan, Phase phase, Idx nrhs,
     bcast.for_each_child(g, [&](int child) {
       const double arrival =
           send_at + fabric.put_time(gpu_base + g, gpu_base + child, bytes);
+      if (sink) {
+        sink->put(gpu_base + g, gpu_base + child, send_at, arrival,
+                  static_cast<std::int64_t>(bytes), TimeCategory::kXyComm);
+      }
       on_contribution(child, cp, arrival);
     });
 
@@ -301,6 +361,8 @@ GpuSolveTimes simulate_solve_3d_gpu(const SupernodalLU& lu, const NdTree& tree,
   const int world = shape.px * shape.pz;
   out.l_finish.assign(static_cast<size_t>(world), 0.0);
   out.u_finish.assign(static_cast<size_t>(world), 0.0);
+  std::unique_ptr<TraceSink> sink;
+  if (cfg.trace) sink = std::make_unique<TraceSink>(world);
 
   // ---- L phase: independent per grid. ----
   std::vector<std::vector<double>> clock(static_cast<size_t>(shape.pz));
@@ -309,7 +371,7 @@ GpuSolveTimes simulate_solve_3d_gpu(const SupernodalLU& lu, const NdTree& tree,
     clock[static_cast<size_t>(z)] = run_phase(plans[static_cast<size_t>(z)], Phase::kL,
                                               cfg.nrhs, exec, fabric,
                                               /*gpu_base=*/z * shape.px, t0,
-                                              cfg.schedule);
+                                              cfg.schedule, sink.get());
     for (int g = 0; g < shape.px; ++g) {
       out.l_finish[static_cast<size_t>(z * shape.px + g)] =
           clock[static_cast<size_t>(z)][static_cast<size_t>(g)];
@@ -335,22 +397,32 @@ GpuSolveTimes simulate_solve_3d_gpu(const SupernodalLU& lu, const NdTree& tree,
   };
   for (int g = 0; g < shape.px; ++g) {
     for (int l = 0; l < zlevels; ++l) {  // reduce toward the lower grid
+      const double lvl_bytes = level_bytes(g, l);
       const double cost = 2 * machine.mpi_overhead + machine.net.latency +
-                          level_bytes(g, l) / machine.net.bandwidth;
+                          lvl_bytes / machine.net.bandwidth;
       for (int z = 0; z + (1 << l) < shape.pz; z += 1 << (l + 1)) {
         const int hi = z + (1 << l);
         auto& lo_c = clock[static_cast<size_t>(z)][static_cast<size_t>(g)];
         const double hi_c = clock[static_cast<size_t>(hi)][static_cast<size_t>(g)];
+        if (sink) {
+          sink->put(hi * shape.px + g, z * shape.px + g, hi_c, hi_c + cost,
+                    static_cast<std::int64_t>(lvl_bytes), TimeCategory::kZComm);
+        }
         lo_c = std::max(lo_c, hi_c + cost);
       }
     }
     for (int l = zlevels - 1; l >= 0; --l) {  // broadcast back
+      const double lvl_bytes = level_bytes(g, l);
       const double cost = 2 * machine.mpi_overhead + machine.net.latency +
-                          level_bytes(g, l) / machine.net.bandwidth;
+                          lvl_bytes / machine.net.bandwidth;
       for (int z = 0; z + (1 << l) < shape.pz; z += 1 << (l + 1)) {
         const int hi = z + (1 << l);
         auto& hi_c = clock[static_cast<size_t>(hi)][static_cast<size_t>(g)];
         const double lo_c = clock[static_cast<size_t>(z)][static_cast<size_t>(g)];
+        if (sink) {
+          sink->put(z * shape.px + g, hi * shape.px + g, lo_c, lo_c + cost,
+                    static_cast<std::int64_t>(lvl_bytes), TimeCategory::kZComm);
+        }
         hi_c = std::max(hi_c, lo_c + cost);
       }
     }
@@ -366,7 +438,7 @@ GpuSolveTimes simulate_solve_3d_gpu(const SupernodalLU& lu, const NdTree& tree,
   for (int z = 0; z < shape.pz; ++z) {
     const auto fin = run_phase(plans[static_cast<size_t>(z)], Phase::kU, cfg.nrhs, exec,
                                fabric, z * shape.px, clock[static_cast<size_t>(z)],
-                               cfg.schedule);
+                               cfg.schedule, sink.get());
     for (int g = 0; g < shape.px; ++g) {
       out.u_finish[static_cast<size_t>(z * shape.px + g)] =
           fin[static_cast<size_t>(g)];
@@ -374,6 +446,26 @@ GpuSolveTimes simulate_solve_3d_gpu(const SupernodalLU& lu, const NdTree& tree,
   }
   out.total = *std::max_element(out.u_finish.begin(), out.u_finish.end());
   out.u_solve = out.total - after_z;
+
+  if (sink) {
+    for (int z = 0; z < shape.pz; ++z) {
+      for (int g = 0; g < shape.px; ++g) {
+        const int wr = z * shape.px + g;
+        const double l_end = out.l_finish[static_cast<size_t>(wr)];
+        const double z_end = clock[static_cast<size_t>(z)][static_cast<size_t>(g)];
+        sink->span(wr, "phase:L", z, 0.0, l_end);
+        sink->span(wr, "phase:Z", z, l_end, z_end);
+        sink->span(wr, "phase:U", z, z_end, out.u_finish[static_cast<size_t>(wr)]);
+      }
+    }
+    // Overlapping SM slices arrive out of order; sort for a stable export
+    // (stable: equal-t0 events keep their generation order).
+    for (auto& rt : sink->ranks) {
+      std::stable_sort(rt.events.begin(), rt.events.end(),
+                       [](const TraceEvent& a, const TraceEvent& b) { return a.t0 < b.t0; });
+    }
+    out.trace = std::make_shared<const Trace>(Trace::build(std::move(sink->ranks)));
+  }
   return out;
 }
 

@@ -12,6 +12,7 @@
 /// so Py = 1 gives the best performance per [12]); Px = 1 covers the
 /// Crusher configurations where ROC-SHMEM forbids subcommunicators.
 
+#include <memory>
 #include <vector>
 
 #include "comm/trees.hpp"
@@ -22,6 +23,8 @@
 #include "runtime/machine.hpp"
 
 namespace sptrsv {
+
+class Trace;  // trace/trace.hpp
 
 /// Execution backend for the modeled solve.
 enum class GpuBackend {
@@ -50,6 +53,10 @@ struct GpuSolveConfig {
   GpuBackend backend = GpuBackend::kGpu;
   GpuScheduleMode schedule = GpuScheduleMode::kTwoKernel;
   TreeKind tree = TreeKind::kBinary;
+  /// Record per-task/per-put events into GpuSolveTimes::trace. The GPU
+  /// sim's task slices overlap (SM slots), so the trace is export-only:
+  /// Trace::contiguous() is false and critical_path() refuses it.
+  bool trace = false;
 };
 
 /// Modeled timings (seconds), makespan-style (max over GPUs/ranks).
@@ -61,6 +68,8 @@ struct GpuSolveTimes {
   /// Per-world-GPU completion times of each phase (diagnostics).
   std::vector<double> l_finish;
   std::vector<double> u_finish;
+  /// Event trace (Perfetto export only); non-null iff GpuSolveConfig::trace.
+  std::shared_ptr<const Trace> trace;
 };
 
 /// Runs the discrete-event model and returns the phase timings. Enforces

@@ -14,6 +14,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "trace/trace.hpp"
+
 namespace sptrsv {
 namespace detail {
 
@@ -26,9 +28,14 @@ double log2_ceil(int p) { return p <= 1 ? 0.0 : std::ceil(std::log2(static_cast<
 constexpr std::uint64_t kSkewDraw = ~std::uint64_t{0};
 }  // namespace
 
-/// A message annotated with the communicator context it was sent on.
+/// A message annotated with the communicator context it was sent on, plus
+/// the trace edge-matching key: the sender's global rank and its per-sender
+/// monotone sequence number (stamped even with tracing off — it is cheap
+/// and keeps envelopes mode-independent).
 struct Envelope {
   std::uint64_t ctx = 0;
+  int src_grank = 0;
+  std::int64_t seq = 0;
   Message msg;
 };
 
@@ -51,9 +58,31 @@ struct RankCtx {
   double skew = 1.0;             ///< perturbation compute-skew factor
   std::uint64_t pseq = 0;        ///< per-message perturbation draw counter
 
+  bool tracing = false;          ///< RunOptions::trace
+  RankTrace trace;               ///< event/span buffer (tracing only)
+  std::int64_t send_seq = 0;     ///< per-sender message sequence (NOT reset
+                                 ///< by reset_clock — seq stays unique)
+  std::uint64_t trace_epoch = 0; ///< bumped by reset_clock; guards TraceSpan
+
   void advance(double seconds, TimeCategory cat) {
     vt += seconds;
     category[static_cast<int>(cat)] += seconds;
+  }
+
+  /// Recording chokepoint: every clock advance that should appear in the
+  /// trace funnels through here, so a traced rank's events tile [0, vt]
+  /// exactly (the contiguity invariant Trace::critical_path relies on).
+  void advance_traced(double seconds, TimeCategory cat, TraceEventKind kind) {
+    const double t0 = vt;
+    advance(seconds, cat);
+    if (tracing) {
+      TraceEvent e;
+      e.kind = kind;
+      e.cat = cat;
+      e.t0 = t0;
+      e.t1 = vt;
+      trace.events.push_back(e);
+    }
   }
 };
 
@@ -200,6 +229,7 @@ class ClusterState {
     for (int r = 0; r < nranks; ++r) {
       RankCtx& ctx = ranks_[static_cast<size_t>(r)];
       ctx.grank = r;
+      ctx.tracing = opts_.trace;
       if (skewed) {
         ctx.skew = 1.0 + machine_.perturb.compute_skew *
                              perturb_uniform(opts_.seed, static_cast<std::uint64_t>(r),
@@ -362,11 +392,14 @@ const MachineModel& Comm::machine() const { return group_->cluster()->machine();
 
 double Comm::vtime() const { return ctx_->vt; }
 
-void Comm::advance(double seconds, TimeCategory cat) { ctx_->advance(seconds, cat); }
+void Comm::advance(double seconds, TimeCategory cat) {
+  ctx_->advance_traced(seconds, cat, TraceEventKind::kAdvance);
+}
 
 void Comm::compute(double flops) {
   // ctx_->skew is 1 unless the perturbation model sets a compute skew.
-  ctx_->advance(flops / machine().cpu_flop_rate * ctx_->skew, TimeCategory::kFp);
+  ctx_->advance_traced(flops / machine().cpu_flop_rate * ctx_->skew,
+                       TimeCategory::kFp, TraceEventKind::kCompute);
 }
 
 void Comm::reset_clock() {
@@ -374,6 +407,36 @@ void Comm::reset_clock() {
   for (double& c : ctx_->category) c = 0.0;
   for (auto& m : ctx_->messages) m = 0;
   for (auto& b : ctx_->bytes) b = 0;
+  // Setup-phase events would break the fresh clock's contiguity; drop them.
+  // send_seq is deliberately NOT reset: a pre-reset send could otherwise
+  // alias a post-reset one under the same (rank, seq) matching key.
+  if (ctx_->tracing) {
+    ctx_->trace.events.clear();
+    ctx_->trace.spans.clear();
+    ++ctx_->trace_epoch;
+  }
+}
+
+TraceSpan Comm::annotate(const char* label, std::int64_t arg) const {
+  return TraceSpan(ctx_->tracing ? ctx_ : nullptr, label, arg);
+}
+
+TraceSpan::TraceSpan(detail::RankCtx* ctx, const char* label, std::int64_t arg)
+    : ctx_(ctx) {
+  if (ctx_ == nullptr) return;
+  epoch_ = ctx_->trace_epoch;
+  index_ = ctx_->trace.spans.size();
+  ctx_->trace.spans.push_back({label, arg, ctx_->vt, ctx_->vt});
+}
+
+TraceSpan::TraceSpan(TraceSpan&& other) noexcept
+    : ctx_(other.ctx_), index_(other.index_), epoch_(other.epoch_) {
+  other.ctx_ = nullptr;
+}
+
+TraceSpan::~TraceSpan() {
+  if (ctx_ == nullptr || epoch_ != ctx_->trace_epoch) return;
+  ctx_->trace.spans[index_].t1 = ctx_->vt;
 }
 
 double Comm::category_time(TimeCategory cat) const {
@@ -396,6 +459,7 @@ void Comm::send_link(int dst, int tag, std::vector<Real> data, const LinkParams&
                      double overhead, TimeCategory cat) {
   if (dst < 0 || dst >= size()) throw std::out_of_range("Comm::send: bad destination");
   detail::ClusterState* cluster = group_->cluster();
+  const double t0 = ctx_->vt;
   ctx_->advance(overhead, cat);
   ++ctx_->messages[static_cast<int>(cat)];
   ctx_->bytes[static_cast<int>(cat)] +=
@@ -432,11 +496,27 @@ void Comm::send_link(int dst, int tag, std::vector<Real> data, const LinkParams&
 
   detail::Envelope env;
   env.ctx = group_->ctx();
+  env.src_grank = ctx_->grank;
+  env.seq = ctx_->send_seq++;
   env.msg.src = rank_;
   env.msg.tag = tag;
   env.msg.data = std::move(data);
   env.msg.arrival = ctx_->vt + latency + bytes / bandwidth + extra_delay;
   const int dst_grank = group_->global_rank(dst);
+  if (ctx_->tracing) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kSend;
+    e.cat = cat;
+    e.t0 = t0;
+    e.t1 = ctx_->vt;
+    e.peer = dst_grank;
+    e.tag = tag;
+    e.bytes = static_cast<std::int64_t>(env.msg.data.size() * sizeof(Real));
+    e.arrival = env.msg.arrival;
+    e.seq = env.seq;
+    e.ctx = env.ctx;
+    ctx_->trace.events.push_back(e);
+  }
   detail::Mailbox& box = cluster->rank(dst_grank).mailbox;
   {
     std::lock_guard<std::mutex> lk(box.mu);
@@ -473,10 +553,30 @@ Message Comm::recv_range(int src, int tag_lo, int tag_hi, TimeCategory cat) {
     return best;
   };
   auto take = [&](std::deque<detail::Envelope>::iterator best) {
+    const int src_grank = best->src_grank;
+    const std::int64_t seq = best->seq;
+    const std::uint64_t env_ctx = best->ctx;
     Message msg = std::move(best->msg);
     box.q.erase(best);
     const double t0 = ctx_->vt;
+    // One advance covers wait-until-arrival plus software overhead, so the
+    // clock math is bit-identical with tracing on or off; the trace splits
+    // wait from commit analytically via the recorded arrival.
     ctx_->advance(std::max(0.0, msg.arrival - t0) + machine().mpi_overhead, cat);
+    if (ctx_->tracing) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kRecv;
+      e.cat = cat;
+      e.t0 = t0;
+      e.t1 = ctx_->vt;
+      e.peer = src_grank;
+      e.tag = msg.tag;
+      e.bytes = static_cast<std::int64_t>(msg.data.size() * sizeof(Real));
+      e.arrival = msg.arrival;
+      e.seq = seq;
+      e.ctx = env_ctx;
+      ctx_->trace.events.push_back(e);
+    }
     return msg;
   };
 
@@ -538,25 +638,47 @@ bool Comm::probe(int src, int tag) {
 }
 
 void Comm::barrier(TimeCategory cat) {
-  const double cost =
-      detail::log2_ceil(size()) * 2.0 * (machine().net.latency + machine().mpi_overhead);
+  // The cost model charges 2*ceil(log2 P) tree hops; the message counters
+  // charge the same modeled messages (zero-byte) so collective traffic is
+  // visible next to point-to-point traffic (docs/MODEL.md).
+  const std::int64_t tree_msgs = 2 * static_cast<std::int64_t>(detail::log2_ceil(size()));
+  const double cost = static_cast<double>(tree_msgs) *
+                      (machine().net.latency + machine().mpi_overhead);
+  const std::int64_t gen = coll_gen_++;
   const double my_vt = ctx_->vt;
   const double sync_vt = group_->collective(
-      coll_gen_++, ctx_->grank, my_vt,
+      gen, ctx_->grank, my_vt,
       [&](auto& slot) { slot.max_vt = std::max(slot.max_vt, my_vt); },
       [](auto&) {}, [](auto& slot) { return slot.max_vt; });
   ctx_->advance(std::max(0.0, sync_vt - my_vt) + cost, cat);
+  ctx_->messages[static_cast<int>(cat)] += tree_msgs;
+  if (ctx_->tracing) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kCollective;
+    e.cat = cat;
+    e.t0 = my_vt;
+    e.t1 = ctx_->vt;
+    e.arrival = sync_vt;
+    e.seq = gen;
+    e.ctx = group_->ctx();
+    e.label = "barrier";
+    ctx_->trace.events.push_back(e);
+  }
 }
 
 std::vector<Real> Comm::allreduce_sum(std::span<const Real> v, TimeCategory cat) {
   const double bytes = static_cast<double>(v.size()) * sizeof(Real);
-  const double cost = detail::log2_ceil(size()) * 2.0 *
+  // Recursive doubling: 2*ceil(log2 P) modeled tree messages, each carrying
+  // the full payload — counted like the cost model charges them.
+  const std::int64_t tree_msgs = 2 * static_cast<std::int64_t>(detail::log2_ceil(size()));
+  const double cost = static_cast<double>(tree_msgs) *
                       (machine().net.latency + machine().mpi_overhead +
                        bytes / machine().net.bandwidth);
+  const std::int64_t gen = coll_gen_++;
   const double my_vt = ctx_->vt;
   const int nmembers = size();
   auto result = group_->collective(
-      coll_gen_++, ctx_->grank, my_vt,
+      gen, ctx_->grank, my_vt,
       [&](auto& slot) {
         slot.max_vt = std::max(slot.max_vt, my_vt);
         if (slot.contribs.empty()) {
@@ -580,6 +702,22 @@ std::vector<Real> Comm::allreduce_sum(std::span<const Real> v, TimeCategory cat)
         return std::pair<std::vector<Real>, double>(slot.reduce, slot.max_vt);
       });
   ctx_->advance(std::max(0.0, result.second - ctx_->vt) + cost, cat);
+  const std::int64_t payload = static_cast<std::int64_t>(v.size() * sizeof(Real));
+  ctx_->messages[static_cast<int>(cat)] += tree_msgs;
+  ctx_->bytes[static_cast<int>(cat)] += tree_msgs * payload;
+  if (ctx_->tracing) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kCollective;
+    e.cat = cat;
+    e.t0 = my_vt;
+    e.t1 = ctx_->vt;
+    e.bytes = payload;
+    e.arrival = result.second;
+    e.seq = gen;
+    e.ctx = group_->ctx();
+    e.label = "allreduce";
+    ctx_->trace.events.push_back(e);
+  }
   return std::move(result.first);
 }
 
@@ -632,6 +770,41 @@ Comm Comm::split(int color, int key) {
             slot.split_rank[static_cast<size_t>(rank_)]);
       });
   return Comm(std::move(result.first), result.second, ctx_);
+}
+
+Spread spread_over(std::span<const double> values) {
+  Spread s;
+  if (values.empty()) return s;
+  std::vector<double> v(values.begin(), values.end());
+  std::sort(v.begin(), v.end());
+  s.min = v.front();
+  s.max = v.back();
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  s.mean = sum / static_cast<double>(v.size());
+  auto pct = [&v](double p) {
+    // Nearest-rank percentile: the ceil(p/100 * N)-th smallest value.
+    auto k = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(v.size())));
+    return v[std::max<size_t>(k, 1) - 1];
+  };
+  s.p50 = pct(50.0);
+  s.p99 = pct(99.0);
+  return s;
+}
+
+Spread Cluster::Result::category_spread(TimeCategory cat) const {
+  std::vector<double> v;
+  v.reserve(ranks.size());
+  for (const auto& r : ranks) v.push_back(r.category[static_cast<int>(cat)]);
+  return spread_over(v);
+}
+
+Spread Cluster::Result::vtime_spread() const {
+  std::vector<double> v;
+  v.reserve(ranks.size());
+  for (const auto& r : ranks) v.push_back(r.vtime);
+  return spread_over(v);
 }
 
 double Cluster::Result::makespan() const {
@@ -720,6 +893,14 @@ Cluster::Result Cluster::run(int nranks, const MachineModel& machine,
       res.ranks[static_cast<size_t>(r)].messages[c] = state.rank(r).messages[c];
       res.ranks[static_cast<size_t>(r)].bytes[c] = state.rank(r).bytes[c];
     }
+  }
+  if (opts.trace) {
+    std::vector<RankTrace> buffers;
+    buffers.reserve(static_cast<size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      buffers.push_back(std::move(state.rank(r).trace));
+    }
+    res.trace = std::make_shared<const Trace>(Trace::build(std::move(buffers)));
   }
   return res;
 }

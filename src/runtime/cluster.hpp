@@ -55,6 +55,10 @@ struct RunOptions {
   /// yields the same perturbations in every run; ignored when the machine's
   /// perturbation model is inactive.
   std::uint64_t seed = 0;
+  /// Record a per-event virtual-time trace (docs/OBSERVABILITY.md) and
+  /// publish it as Cluster::Result::trace. Recording never changes modeled
+  /// results — clock math is identical with tracing on or off.
+  bool trace = false;
 };
 
 /// A received message.
@@ -70,6 +74,28 @@ class ClusterState;
 class CommGroup;
 struct RankCtx;
 }  // namespace detail
+
+class Trace;  // trace/trace.hpp — merged per-event trace of a traced run
+
+/// RAII annotation span opened by Comm::annotate. Zero virtual-clock cost;
+/// records [open vt, close vt] into the rank's trace buffer (no-op when
+/// tracing is off). Closed by destruction; do not hold across reset_clock
+/// (the record is dropped, harmlessly, because reset wipes the buffer).
+class TraceSpan {
+ public:
+  TraceSpan(TraceSpan&& other) noexcept;
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  TraceSpan& operator=(TraceSpan&&) = delete;
+  ~TraceSpan();
+
+ private:
+  friend class Comm;
+  TraceSpan(detail::RankCtx* ctx, const char* label, std::int64_t arg);
+  detail::RankCtx* ctx_ = nullptr;  // null when tracing is off
+  std::size_t index_ = 0;           // span record to close
+  std::uint64_t epoch_ = 0;         // guards against reset_clock in between
+};
 
 /// Per-rank communicator handle (value type; cheap to copy). Created by
 /// `Cluster::run` for the world and by `split` for subgrids.
@@ -129,10 +155,22 @@ class Comm {
   double category_time(TimeCategory cat) const;
 
   // --- message accounting (validates the paper's message-count claims) ---
-  /// Point-to-point messages this rank sent in `cat` since reset_clock.
+  /// Messages this rank sent in `cat` since reset_clock. A point-to-point
+  /// send counts one; `barrier` and `allreduce_sum` add the
+  /// 2*ceil(log2 P) tree messages their cost model charges (docs/MODEL.md
+  /// §collectives); `allreduce_max` and `split` are untimed bookkeeping and
+  /// count nothing.
   std::int64_t messages_sent(TimeCategory cat) const;
-  /// Payload bytes this rank sent in `cat` since reset_clock.
+  /// Payload bytes this rank sent in `cat` since reset_clock. Each modeled
+  /// `allreduce_sum` tree message carries the full vector payload;
+  /// `barrier` messages are zero-byte.
   std::int64_t bytes_sent(TimeCategory cat) const;
+
+  /// Opens a zero-cost annotation span labeled `label` (must be a string
+  /// literal or otherwise outlive the run) with an optional caller-chosen
+  /// discriminator `arg` (level, row id, ...). The span closes when the
+  /// returned object is destroyed. No-op unless RunOptions::trace is set.
+  TraceSpan annotate(const char* label, std::int64_t arg = -1) const;
 
  private:
   friend class Cluster;
@@ -154,6 +192,22 @@ struct RankStats {
   std::int64_t bytes[kNumTimeCategories] = {0, 0, 0, 0};
 };
 
+/// Distribution summary of one per-rank statistic (Figs 7-8 load-balance
+/// plots). Percentiles use the nearest-rank method, so every reported value
+/// is an actual rank's value.
+struct Spread {
+  double min = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  /// Max-over-mean load-imbalance ratio (1.0 = perfectly balanced).
+  double imbalance() const { return mean > 0.0 ? max / mean : 0.0; }
+};
+
+/// Summarizes one value per rank into a Spread.
+Spread spread_over(std::span<const double> values);
+
 /// Spawns `nranks` rank threads, runs `rank_fn` on each, joins, and returns
 /// the virtual-clock statistics. Exceptions thrown by any rank are
 /// rethrown (first one wins) after all threads have been joined.
@@ -161,12 +215,18 @@ class Cluster {
  public:
   struct Result {
     std::vector<RankStats> ranks;
+    /// Merged event trace; non-null iff RunOptions::trace was set.
+    std::shared_ptr<const Trace> trace;
     /// Modeled solve makespan: max vtime over ranks.
     double makespan() const;
     /// Mean over ranks of one category (paper plots rank-averaged bars).
     double mean_category(TimeCategory cat) const;
     double max_category(TimeCategory cat) const;
     double min_category(TimeCategory cat) const;
+    /// Distribution of one category's per-rank time (p50/p99/max/imbalance).
+    Spread category_spread(TimeCategory cat) const;
+    /// Distribution of per-rank total virtual times.
+    Spread vtime_spread() const;
     /// Order-sensitive hash of every per-rank statistic (clock bits,
     /// category times, message/byte counts). Two deterministic runs of the
     /// same program must produce equal fingerprints; repeatability checks

@@ -1,0 +1,304 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sptrsv {
+
+namespace {
+
+/// Exact-tiling tolerance: event boundaries are recorded from the same
+/// double (`vt` before/after an advance), so contiguity holds bitwise.
+bool tiles(const std::vector<TraceEvent>& events) {
+  if (events.empty()) return true;
+  if (events.front().t0 != 0.0) return false;
+  for (size_t i = 1; i < events.size(); ++i) {
+    if (events[i].t0 != events[i - 1].t1) return false;
+  }
+  return true;
+}
+
+const char* kind_name(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kCompute: return "compute";
+    case TraceEventKind::kAdvance: return "advance";
+    case TraceEventKind::kSend: return "send";
+    case TraceEventKind::kRecv: return "recv";
+    case TraceEventKind::kCollective: return "collective";
+  }
+  return "?";
+}
+
+const char* cat_name(TimeCategory c) {
+  switch (c) {
+    case TimeCategory::kFp: return "FP";
+    case TimeCategory::kXyComm: return "XY-Comm";
+    case TimeCategory::kZComm: return "Z-Comm";
+    case TimeCategory::kOther: return "other";
+  }
+  return "?";
+}
+
+/// Microseconds with fixed precision — deterministic for equal doubles.
+std::string us(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", seconds * 1e6);
+  return buf;
+}
+
+}  // namespace
+
+Trace Trace::build(std::vector<RankTrace> ranks) {
+  Trace t;
+  t.ranks_ = std::move(ranks);
+  t.recv_edge_.resize(t.ranks_.size());
+
+  // Index sends by their globally unique (sender rank, sender seq) key.
+  struct SendRef {
+    int rank;
+    std::uint32_t event;
+  };
+  std::unordered_map<std::uint64_t, SendRef> sends;
+  auto key_of = [](int rank, std::int64_t seq) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) << 32) ^
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(seq));
+  };
+  for (size_t r = 0; r < t.ranks_.size(); ++r) {
+    const auto& events = t.ranks_[r].events;
+    t.recv_edge_[r].assign(events.size(), -1);
+    t.contiguous_ = t.contiguous_ && tiles(events);
+    if (!events.empty()) t.makespan_ = std::max(t.makespan_, events.back().t1);
+    for (std::uint32_t i = 0; i < events.size(); ++i) {
+      const TraceEvent& e = events[i];
+      if (e.kind == TraceEventKind::kSend) {
+        ++t.num_sends_;
+        sends[key_of(static_cast<int>(r), e.seq)] = {static_cast<int>(r), i};
+      } else if (e.kind == TraceEventKind::kCollective) {
+        t.colls_[{e.ctx, e.seq}].emplace_back(static_cast<int>(r), i);
+      }
+    }
+  }
+  for (size_t r = 0; r < t.ranks_.size(); ++r) {
+    const auto& events = t.ranks_[r].events;
+    for (std::uint32_t i = 0; i < events.size(); ++i) {
+      const TraceEvent& e = events[i];
+      if (e.kind != TraceEventKind::kRecv) continue;
+      ++t.num_recvs_;
+      const auto it = sends.find(key_of(e.peer, e.seq));
+      if (it == sends.end()) continue;  // sender recorded pre-reset_clock
+      const TraceEvent& s = t.ranks_[static_cast<size_t>(it->second.rank)]
+                                .events[it->second.event];
+      t.recv_edge_[r][i] = static_cast<std::int32_t>(t.edges_.size());
+      t.edges_.push_back({it->second.rank, it->second.event, static_cast<int>(r), i,
+                          e.arrival - s.t1});
+    }
+  }
+  return t;
+}
+
+std::size_t Trace::num_events() const {
+  std::size_t n = 0;
+  for (const auto& r : ranks_) n += r.events.size();
+  return n;
+}
+
+Trace::CriticalPath Trace::critical_path() const {
+  if (!contiguous_) {
+    throw std::logic_error(
+        "Trace::critical_path: events do not tile the timeline (runtime "
+        "traces only; GPU-simulator traces are export-only)");
+  }
+  CriticalPath cp;
+  cp.breakdown.makespan = makespan_;
+  // Sink: first rank whose final event ends at the makespan.
+  std::int64_t idx = -1;
+  for (size_t r = 0; r < ranks_.size(); ++r) {
+    const auto& events = ranks_[r].events;
+    if (!events.empty() && events.back().t1 == makespan_) {
+      cp.sink_rank = static_cast<int>(r);
+      idx = static_cast<std::int64_t>(events.size()) - 1;
+      break;
+    }
+  }
+  if (cp.sink_rank < 0) return cp;  // empty trace
+
+  auto charge = [&cp](TimeCategory cat, double dt) {
+    cp.breakdown.category[static_cast<int>(cat)] += dt;
+  };
+  int rank = cp.sink_rank;
+  // Guard against malformed input: the walk visits each event at most once.
+  std::size_t steps = 0;
+  const std::size_t cap = num_events() + 1;
+  while (idx >= 0 && steps++ < cap) {
+    const TraceEvent& e = ranks_[static_cast<size_t>(rank)]
+                              .events[static_cast<size_t>(idx)];
+    ++cp.num_events;
+    if (e.kind == TraceEventKind::kRecv && e.arrival > e.t0) {
+      const std::int32_t ei =
+          recv_edge_[static_cast<size_t>(rank)][static_cast<size_t>(idx)];
+      if (ei >= 0) {
+        // The receiver was *waiting*: commit segment [arrival, t1] is the
+        // receive's own cost; [send end, arrival] is flight = wait; the
+        // path continues through the matched send on the source rank.
+        const Edge& edge = edges_[static_cast<size_t>(ei)];
+        const TraceEvent& s = ranks_[static_cast<size_t>(edge.src_rank)]
+                                  .events[edge.src_event];
+        charge(e.cat, e.t1 - e.arrival);
+        cp.breakdown.wait += e.arrival - s.t1;
+        cp.edges.push_back({&s, &e, edge.src_rank, rank, e.arrival - s.t1});
+        rank = edge.src_rank;
+        idx = static_cast<std::int64_t>(edge.src_event);
+        continue;  // the send event itself is charged next iteration
+      }
+    } else if (e.kind == TraceEventKind::kCollective && e.arrival > e.t0) {
+      // The group synchronized above my entry time: [sync, t1] is the
+      // modeled collective cost; the path jumps (zero-width) to whatever
+      // the straggler — the member whose entry *is* the sync point — was
+      // doing just before it entered.
+      const auto it = colls_.find({e.ctx, e.seq});
+      if (it != colls_.end()) {
+        int srank = -1;
+        std::uint32_t sidx = 0;
+        for (const auto& [r, i] : it->second) {
+          const TraceEvent& m = ranks_[static_cast<size_t>(r)].events[i];
+          if (m.t0 == e.arrival) {
+            srank = r;
+            sidx = i;
+            break;  // members are in rank order; lowest straggler wins
+          }
+        }
+        if (srank >= 0) {
+          charge(e.cat, e.t1 - e.arrival);
+          rank = srank;
+          idx = static_cast<std::int64_t>(sidx) - 1;
+          continue;
+        }
+      }
+    }
+    charge(e.cat, e.t1 - e.t0);
+    --idx;
+  }
+  return cp;
+}
+
+std::map<std::int64_t, double> Trace::wait_by_span(const char* label) const {
+  std::map<std::int64_t, double> out;
+  for (const auto& rt : ranks_) {
+    for (const auto& sp : rt.spans) {
+      if (std::strcmp(sp.label, label) != 0) continue;
+      auto it = std::partition_point(
+          rt.events.begin(), rt.events.end(),
+          [&](const TraceEvent& e) { return e.t0 < sp.t0; });
+      double wait = 0.0;
+      for (; it != rt.events.end() && it->t0 < sp.t1; ++it) {
+        if (it->kind != TraceEventKind::kRecv) continue;
+        wait += std::max(0.0, std::min(it->arrival, it->t1) - it->t0);
+      }
+      out[sp.arg] += wait;
+    }
+  }
+  return out;
+}
+
+void Trace::write_chrome_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << line;
+  };
+  char buf[256];
+  for (size_t r = 0; r < ranks_.size(); ++r) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":0,\"tid\":%zu,\"name\":\"thread_name\","
+                  "\"args\":{\"name\":\"rank %zu\"}}",
+                  r, r);
+    emit(buf);
+  }
+  for (size_t r = 0; r < ranks_.size(); ++r) {
+    for (const auto& sp : ranks_[r].spans) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"X\",\"pid\":0,\"tid\":%zu,\"ts\":%s,\"dur\":%s,"
+                    "\"name\":\"%s\",\"cat\":\"span\",\"args\":{\"arg\":%lld}}",
+                    r, us(sp.t0).c_str(), us(sp.t1 - sp.t0).c_str(), sp.label,
+                    static_cast<long long>(sp.arg));
+      emit(buf);
+    }
+    for (const auto& e : ranks_[r].events) {
+      const char* name =
+          (e.label != nullptr) ? e.label : kind_name(e.kind);
+      std::string args;
+      switch (e.kind) {
+        case TraceEventKind::kSend:
+        case TraceEventKind::kRecv: {
+          char a[160];
+          std::snprintf(a, sizeof(a),
+                        ",\"args\":{\"peer\":%d,\"tag\":%d,\"bytes\":%lld,"
+                        "\"wait_us\":%s}",
+                        e.peer, e.tag, static_cast<long long>(e.bytes),
+                        us(std::max(0.0, std::min(e.arrival, e.t1) - e.t0)).c_str());
+          args = a;
+          break;
+        }
+        case TraceEventKind::kCollective: {
+          char a[96];
+          std::snprintf(a, sizeof(a), ",\"args\":{\"bytes\":%lld,\"sync_us\":%s}",
+                        static_cast<long long>(e.bytes), us(e.arrival).c_str());
+          args = a;
+          break;
+        }
+        default:
+          break;
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"X\",\"pid\":0,\"tid\":%zu,\"ts\":%s,\"dur\":%s,"
+                    "\"name\":\"%s\",\"cat\":\"%s\"%s}",
+                    r, us(e.t0).c_str(), us(e.t1 - e.t0).c_str(), name,
+                    cat_name(e.cat), args.c_str());
+      emit(buf);
+    }
+  }
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& edge = edges_[i];
+    const TraceEvent& s =
+        ranks_[static_cast<size_t>(edge.src_rank)].events[edge.src_event];
+    const TraceEvent& d =
+        ranks_[static_cast<size_t>(edge.dst_rank)].events[edge.dst_event];
+    // Bind the arrow end inside the receive slice even if the message beat
+    // the receiver there (arrival < entry).
+    const double land = std::max(d.t0, std::min(d.arrival, d.t1));
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"s\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"id\":%zu,"
+                  "\"name\":\"msg\",\"cat\":\"flow\"}",
+                  edge.src_rank, us(s.t1).c_str(), i);
+    emit(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":%d,\"ts\":%s,"
+                  "\"id\":%zu,\"name\":\"msg\",\"cat\":\"flow\"}",
+                  edge.dst_rank, us(land).c_str(), i);
+    emit(buf);
+  }
+  os << "\n]}\n";
+}
+
+std::string Trace::chrome_json() const {
+  std::ostringstream os;
+  write_chrome_json(os);
+  return os.str();
+}
+
+bool Trace::write_chrome_json_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_chrome_json(f);
+  return f.good();
+}
+
+}  // namespace sptrsv

@@ -1,0 +1,181 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Virtual-time event tracing for the cluster runtime
+/// (docs/OBSERVABILITY.md).
+///
+/// When `RunOptions::trace` is set, every rank records one `TraceEvent` per
+/// clock advance — compute, send, receive, collective — plus zero-cost user
+/// annotation spans (`Comm::annotate`). On `Cluster::run` completion the
+/// per-rank buffers are merged into a `Trace`, which
+///  - matches every receive to its send via the (sender rank, sender
+///    sequence number) key stamped on each message, yielding the cross-rank
+///    happens-before edges,
+///  - walks the happens-before DAG backwards from the makespan rank and
+///    partitions the makespan into the paper's breakdown categories plus
+///    explicit *wait* time (message flight on the critical path — the
+///    quantity the synchronization-reduction optimizations attack),
+///  - aggregates per-(label, arg) receive-wait totals for span histograms,
+///  - exports Chrome trace-event JSON loadable in Perfetto (one track per
+///    rank, flow arrows for messages).
+///
+/// Interval events of a runtime trace are *contiguous*: each rank's events
+/// tile [0, final vt] exactly, because every clock mutation funnels through
+/// one recording chokepoint. The critical-path walk relies on that
+/// invariant and refuses traces that violate it (e.g. the GPU simulator's
+/// overlapping per-SM task slices, which are export-only).
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/perturbation.hpp"
+
+namespace sptrsv {
+
+/// What a recorded clock advance was doing.
+enum class TraceEventKind : std::uint8_t {
+  kCompute = 0,     ///< Comm::compute (flops / rate)
+  kAdvance = 1,     ///< Comm::advance (explicitly modeled cost)
+  kSend = 2,        ///< sender-side software overhead of a message
+  kRecv = 3,        ///< receive: wait until arrival + software overhead
+  kCollective = 4,  ///< barrier / allreduce_sum: sync to group max + cost
+};
+
+/// One clock advance on one rank, stamped in virtual time.
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kAdvance;
+  TimeCategory cat = TimeCategory::kOther;
+  double t0 = 0.0;  ///< rank virtual time when the advance began
+  double t1 = 0.0;  ///< rank virtual time when it ended
+  /// Peer *global* rank: destination (send) / source (recv); -1 otherwise.
+  int peer = -1;
+  int tag = 0;
+  std::int64_t bytes = 0;  ///< payload bytes (send/recv/collective)
+  /// send: the stamped arrival at the destination; recv: the taken
+  /// message's arrival; collective: the group's sync point (max entry vt).
+  double arrival = 0.0;
+  /// send/recv: the sender's per-rank message sequence number (edge
+  /// matching key, unique per sender); collective: the generation number.
+  std::int64_t seq = 0;
+  std::uint64_t ctx = 0;  ///< communicator context id
+  /// Optional static-string label ("barrier", "allreduce", GPU-sim task
+  /// names). Must point at storage outliving the trace (string literals).
+  const char* label = nullptr;
+};
+
+/// A user annotation span (Comm::annotate): zero clock cost, overlays the
+/// interval events — excluded from the critical-path partition.
+struct TraceSpanRec {
+  const char* label = nullptr;  ///< static string (see TraceEvent::label)
+  std::int64_t arg = -1;        ///< caller-chosen discriminator (level, row id, ...)
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
+/// One rank's raw recording buffer (append-only while the rank runs).
+struct RankTrace {
+  std::vector<TraceEvent> events;
+  std::vector<TraceSpanRec> spans;
+};
+
+/// Merged, matched view of a whole run. Build once via Trace::build.
+class Trace {
+ public:
+  /// A matched send -> recv happens-before edge.
+  struct Edge {
+    int src_rank = -1;
+    std::uint32_t src_event = 0;  ///< index into rank(src_rank).events
+    int dst_rank = -1;
+    std::uint32_t dst_event = 0;
+    double flight = 0.0;  ///< arrival - send completion (virtual seconds)
+  };
+
+  /// Makespan attribution along the critical path. The invariant the tests
+  /// pin: category[0..3] + wait telescopes to `makespan` exactly (the walk
+  /// partitions [0, makespan] into disjoint segments).
+  struct Breakdown {
+    double makespan = 0.0;
+    double category[kNumTimeCategories] = {0, 0, 0, 0};
+    double wait = 0.0;  ///< message flight time on the path
+    double total() const {
+      double s = wait;
+      for (const double c : category) s += c;
+      return s;
+    }
+  };
+
+  /// A cross-rank hop on the critical path (sink-to-source order).
+  struct PathEdge {
+    const TraceEvent* send = nullptr;
+    const TraceEvent* recv = nullptr;
+    int src_rank = -1;
+    int dst_rank = -1;
+    double flight = 0.0;
+  };
+
+  struct CriticalPath {
+    Breakdown breakdown;
+    std::vector<PathEdge> edges;  ///< message hops, sink-to-source
+    int sink_rank = -1;           ///< rank whose final event ends at makespan
+    std::size_t num_events = 0;   ///< interval events visited by the walk
+  };
+
+  Trace() = default;
+
+  /// Merges per-rank buffers (index = global rank) and matches edges.
+  static Trace build(std::vector<RankTrace> ranks);
+
+  int num_ranks() const { return static_cast<int>(ranks_.size()); }
+  const RankTrace& rank(int r) const { return ranks_[static_cast<size_t>(r)]; }
+  /// Max over ranks of the final event's t1 (0 for an empty trace).
+  double makespan() const { return makespan_; }
+  /// True if every rank's events tile [0, vt] with no gaps or overlaps —
+  /// holds for runtime traces, not for GPU-simulator traces.
+  bool contiguous() const { return contiguous_; }
+
+  std::size_t num_events() const;
+  std::size_t num_sends() const { return num_sends_; }
+  std::size_t num_recvs() const { return num_recvs_; }
+  std::size_t num_matched_recvs() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Extracts the critical path (throws std::logic_error on a
+  /// non-contiguous trace — see contiguous()).
+  CriticalPath critical_path() const;
+
+  /// Total receive *wait* time (clamped arrival - entry) of events enclosed
+  /// in spans labeled `label`, keyed by the span's arg, summed over ranks —
+  /// e.g. wait_by_span("l_level") is the per-level wait histogram of the
+  /// baseline L phase.
+  std::map<std::int64_t, double> wait_by_span(const char* label) const;
+
+  /// Chrome trace-event JSON (Perfetto-loadable): one thread per rank,
+  /// "X" slices for events and spans, flow arrows for matched messages.
+  /// Deterministic formatting: equal traces serialize byte-identically.
+  void write_chrome_json(std::ostream& os) const;
+  std::string chrome_json() const;
+  /// Writes chrome_json() to `path`; returns false on I/O failure.
+  bool write_chrome_json_file(const std::string& path) const;
+
+ private:
+  std::vector<RankTrace> ranks_;
+  std::vector<Edge> edges_;
+  /// Per rank, per event: index into edges_ for matched kRecv events, -1
+  /// otherwise.
+  std::vector<std::vector<std::int32_t>> recv_edge_;
+  /// (ctx, generation) -> member (rank, event index) list, for collective
+  /// straggler jumps in the critical-path walk.
+  std::map<std::pair<std::uint64_t, std::int64_t>,
+           std::vector<std::pair<int, std::uint32_t>>>
+      colls_;
+  double makespan_ = 0.0;
+  bool contiguous_ = true;
+  std::size_t num_sends_ = 0;
+  std::size_t num_recvs_ = 0;
+};
+
+}  // namespace sptrsv

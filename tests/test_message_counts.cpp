@@ -134,6 +134,32 @@ TEST(MessageCounts, ResetClockZeroesCounters) {
   });
 }
 
+TEST(MessageCounts, CollectivesCountModeledTreeMessages) {
+  // barrier/allreduce_sum are modeled as a binomial reduce + broadcast:
+  // 2*ceil(log2 P) tree messages per rank (docs/MODEL.md). The counters
+  // must reflect that model — zero bytes for barrier, the full payload per
+  // message for allreduce_sum; allreduce_max is a zero-cost agreement
+  // primitive and counts nothing.
+  const int P = 8;
+  const std::int64_t tree_msgs = 6;  // 2 * ceil(log2 8)
+  const std::vector<Real> payload(4, 1.0);
+  const auto res = Cluster::run(P, test_machine(), [&](Comm& c) {
+    c.barrier();  // accounted under kOther
+    EXPECT_EQ(c.messages_sent(TimeCategory::kOther), tree_msgs);
+    EXPECT_EQ(c.bytes_sent(TimeCategory::kOther), 0);
+    c.allreduce_sum(payload, TimeCategory::kZComm);
+    EXPECT_EQ(c.messages_sent(TimeCategory::kZComm), tree_msgs);
+    EXPECT_EQ(c.bytes_sent(TimeCategory::kZComm),
+              tree_msgs * static_cast<std::int64_t>(payload.size() * sizeof(Real)));
+    c.allreduce_max(1.0);  // uncharged, uncounted
+  });
+  for (const auto& r : res.ranks) {
+    EXPECT_EQ(r.messages[static_cast<int>(TimeCategory::kOther)], tree_msgs);
+    EXPECT_EQ(r.messages[static_cast<int>(TimeCategory::kZComm)], tree_msgs);
+    EXPECT_EQ(r.messages[static_cast<int>(TimeCategory::kXyComm)], 0);
+  }
+}
+
 TEST(MessageCounts, StatsExposeCounters) {
   const auto res = Cluster::run(2, test_machine(), [](Comm& c) {
     if (c.rank() == 0) c.send(1, 0, std::vector<Real>(10, 1.0), TimeCategory::kZComm);
