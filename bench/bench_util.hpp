@@ -45,6 +45,17 @@ inline std::string bench_trace_dir() {
   return (v != nullptr) ? std::string(v) : std::string();
 }
 
+/// SPTRSV_BENCH_FAULT=<drop_prob> runs every solve over a lossy network that
+/// drops each data/ack frame with the given probability. The reliable
+/// transport (docs/ROBUSTNESS.md) retransmits until delivery, so the printed
+/// tables are unchanged; each sweep point adds a `# fault:` line reporting
+/// the retransmit traffic and the recovery delay on the fault clock.
+inline double bench_fault_drop() {
+  const char* v = std::getenv("SPTRSV_BENCH_FAULT");
+  if (v == nullptr || v[0] == '\0') return 0.0;
+  return std::atof(v);
+}
+
 /// SPTRSV_BENCH_DETERMINISTIC=1 runs every solve in the deterministic
 /// scheduler mode: slower (ranks serialize on the run token), but two runs
 /// of a bench print byte-identical tables (docs/DETERMINISM.md).
@@ -65,6 +76,12 @@ inline void print_mode_banner() {
   if (!tdir.empty()) {
     std::printf("# tracing: one Perfetto JSON per sweep point under %s/\n",
                 tdir.c_str());
+  }
+  if (const double drop = bench_fault_drop(); drop > 0.0) {
+    std::printf(
+        "# lossy network: drop_prob=%.3f, reliable transport retransmits "
+        "(tables unchanged; fault-clock overhead per sweep point)\n",
+        drop);
   }
 }
 
@@ -128,8 +145,24 @@ inline DistSolveOutcome run_cpu(const FactoredSystem& fs, const Grid3dShape& sha
   cfg.nrhs = nrhs;
   cfg.sparse_zreduce = sparse_zreduce;
   cfg.run = bench_run_options();
+  MachineModel m = machine;
+  if (const double drop = bench_fault_drop(); drop > 0.0) {
+    m.perturb.drop_prob = drop;
+  }
   const auto b = bench_rhs(fs.lu.n(), nrhs);
-  DistSolveOutcome out = solve_system_3d(fs, b, cfg, machine);
+  DistSolveOutcome out = solve_system_3d(fs, b, cfg, m);
+  if (bench_fault_drop() > 0.0) {
+    const TransportStats t = out.run_stats.transport_totals();
+    const double clean = out.run_stats.makespan();
+    const double faulty = out.run_stats.fault_makespan();
+    std::printf("# fault: retransmits=%lld (%lld bytes), acks=%lld (%lld bytes), "
+                "makespan %.3e -> %.3e s (+%.1f%%)\n",
+                static_cast<long long>(t.retransmits),
+                static_cast<long long>(t.retrans_bytes),
+                static_cast<long long>(t.acks),
+                static_cast<long long>(t.ack_bytes), clean, faulty,
+                clean > 0.0 ? 100.0 * (faulty - clean) / clean : 0.0);
+  }
   maybe_dump_trace(out.run_stats.trace.get(),
                    std::string(alg == Algorithm3d::kProposed ? "new" : "base") + "_" +
                        std::to_string(shape.px) + "x" + std::to_string(shape.py) +

@@ -89,6 +89,7 @@ void sparse_allreduce(Comm& zcomm, const NdTree& tree,
   const int levels = tree.levels();
   const int z = zcomm.rank();
 
+  try {
   // Reduce phase (Fig 3a): leaf-to-root; the higher grid of each pair sends
   // its partial sums to the lower one and goes inactive.
   for (int l = 0; l < levels; ++l) {
@@ -120,11 +121,15 @@ void sparse_allreduce(Comm& zcomm, const NdTree& tree,
       zcomm.send(partner, kTagSparseBcast, pack(shared), cat);
     }
   }
+  } catch (FaultError& fe) {
+    rethrow_with_phase(fe, "sparse_allreduce");
+  }
 }
 
 void dense_allreduce_per_node(Comm& zcomm, const NdTree& tree,
                               std::span<const ReduceSegment> segments, TimeCategory cat) {
   validate(zcomm, tree, segments);
+  try {
   // Every internal tracked node triggers one full-communicator allreduce.
   // Grids that do not share the node contribute zeros; node sizes are
   // agreed via an (uncharged) max-reduce of the local lengths.
@@ -142,6 +147,9 @@ void dense_allreduce_per_node(Comm& zcomm, const NdTree& tree,
     if (mine) std::copy(mine->values.begin(), mine->values.end(), contrib.begin());
     const std::vector<Real> sum = zcomm.allreduce_sum(contrib, cat);
     if (mine) std::copy_n(sum.begin(), mine->values.size(), mine->values.begin());
+  }
+  } catch (FaultError& fe) {
+    rethrow_with_phase(fe, "dense_allreduce_per_node");
   }
 }
 

@@ -184,7 +184,12 @@ LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_l
   // Message-driven loop (Algorithm 3's while-loop).
   const int tag_hi = tag_base + 4 * static_cast<int>(nsup_window) + 4;
   while (expected > 0) {
-    Message m = grid.recv_range(kAnySource, tag_base, tag_hi, cat);
+    Message m;
+    try {
+      m = grid.recv_range(kAnySource, tag_base, tag_hi, cat);
+    } catch (FaultError& fe) {
+      rethrow_with_phase(fe, "solve_l_2d");
+    }
     --expected;
     const int rel = m.tag - tag_base;
     const Idx k = static_cast<Idx>(rel / 4);
@@ -363,7 +368,12 @@ USolve2dResult solve_u_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& y_l
 
   const int tag_hi = tag_base + 4 * static_cast<int>(nsup_window) + 4;
   while (expected > 0) {
-    Message m = grid.recv_range(kAnySource, tag_base, tag_hi, cat);
+    Message m;
+    try {
+      m = grid.recv_range(kAnySource, tag_base, tag_hi, cat);
+    } catch (FaultError& fe) {
+      rethrow_with_phase(fe, "solve_u_2d");
+    }
     --expected;
     const int rel = m.tag - tag_base;
     const Idx k = static_cast<Idx>(rel / 4);

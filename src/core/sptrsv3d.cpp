@@ -170,15 +170,17 @@ void run_proposed(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
   // 2D L-solve of the whole L^z (replicated computation, no inter-grid
   // communication).
   LSolve2dResult lres;
-  {
+  try {
     const TraceSpan phase = world.annotate("phase:L", z);
     lres = solve_l_2d(grid, plan, b_local, {}, nrhs, tag_window(lu, 0));
+  } catch (FaultError& fe) {
+    rethrow_with_phase(fe, "sptrsv3d L-solve");
   }
   const CatSnapshot after_l = CatSnapshot::take(world);
 
   // The single inter-grid synchronization: sparse allreduce of the partial
   // ancestor solutions (Algorithm 2).
-  {
+  try {
     const TraceSpan phase = world.annotate("phase:Z", z);
     const auto path = tree.path_to_root(tree.leaf_node_id(z));
     std::vector<std::vector<Real>> node_bufs;
@@ -212,14 +214,18 @@ void run_proposed(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
         off += piece.size();
       }
     }
+  } catch (FaultError& fe) {
+    rethrow_with_phase(fe, "sptrsv3d z-reduction");
   }
   const CatSnapshot after_z = CatSnapshot::take(world);
 
   // 2D U-solve of U^z, again with no inter-grid communication.
   USolve2dResult ures;
-  {
+  try {
     const TraceSpan phase = world.annotate("phase:U", z);
     ures = solve_u_2d(grid, plan, lres.y, {}, nrhs, tag_window(lu, 1));
+  } catch (FaultError& fe) {
+    rethrow_with_phase(fe, "sptrsv3d U-solve");
   }
   const CatSnapshot after_u = CatSnapshot::take(world);
 
@@ -261,6 +267,7 @@ void run_baseline(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
   // inter-grid reduction of the replicated partial sums in between. ----
   VecMap lsum_store;  // partial sums of ancestors (diag positions I hold)
   VecMap y_store;     // solutions of nodes this grid solved
+  try {
   for (int s = 0; s <= levels; ++s) {
     const TraceSpan level_span = world.annotate("l_level", s);
     if (s > 0) {
@@ -307,11 +314,15 @@ void run_baseline(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
       }
     }
   }
+  } catch (FaultError& fe) {
+    rethrow_with_phase(fe, "sptrsv3d baseline L-phase");
+  }
   const CatSnapshot after_l = CatSnapshot::take(world);
 
   // ---- Top-down U phase: owners solve, then broadcast solutions to the
   // grids that wake at the next level. ----
   VecMap x_store;  // known solutions (mine + received ancestors)
+  try {
   for (int s = levels; s >= 0; --s) {
     const TraceSpan level_span = world.annotate("u_level", s);
     const int group = 1 << s;
@@ -350,6 +361,9 @@ void run_baseline(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
                       replace_op);
       }
     }
+  }
+  } catch (FaultError& fe) {
+    rethrow_with_phase(fe, "sptrsv3d baseline U-phase");
   }
   const CatSnapshot after_u = CatSnapshot::take(world);
 

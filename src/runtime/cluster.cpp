@@ -3,16 +3,20 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <exception>
 #include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 
 #include "trace/trace.hpp"
 
@@ -31,12 +35,43 @@ constexpr std::uint64_t kSkewDraw = ~std::uint64_t{0};
 /// A message annotated with the communicator context it was sent on, plus
 /// the trace edge-matching key: the sender's global rank and its per-sender
 /// monotone sequence number (stamped even with tracing off — it is cheap
-/// and keeps envelopes mode-independent).
+/// and keeps envelopes mode-independent). While delivery faults are active
+/// the envelope additionally carries the reliable-transport verdict: the
+/// end-to-end checksum, the fault-clock arrival (clean arrival plus every
+/// recovery delay), and the analytic TransportOutcome the receiver charges
+/// to its fault ledger on take (docs/ROBUSTNESS.md).
 struct Envelope {
   std::uint64_t ctx = 0;
   int src_grank = 0;
   std::int64_t seq = 0;
+  std::uint64_t checksum = 0;
+  double fault_arrival = 0.0;
+  std::unique_ptr<const TransportOutcome> transport;  // null when faults off
   Message msg;
+};
+
+/// What a parked rank is waiting for — published (lock-free) before every
+/// blocking wait so the watchdog's FaultReport can say "rank R waiting on
+/// recv(src, tags)" instead of just "wedged" (docs/ROBUSTNESS.md).
+struct WaitInfo {
+  std::atomic<int> kind{0};  ///< 0 none, 1 recv, 2 collective
+  std::atomic<int> a{0};     ///< recv: src (comm-local, -1 wildcard); coll: generation
+  std::atomic<int> b{0};     ///< recv: tag_lo
+  std::atomic<int> c{0};     ///< recv: tag_hi (lo >= hi: any tag)
+  std::atomic<std::uint64_t> ctx{0};  ///< communicator context id
+};
+
+/// RAII publication of a WaitInfo around a blocking wait.
+struct WaitScope {
+  WaitInfo& w;
+  WaitScope(WaitInfo& wi, int kind, int a, int b, int c, std::uint64_t ctx) : w(wi) {
+    w.a.store(a, std::memory_order_relaxed);
+    w.b.store(b, std::memory_order_relaxed);
+    w.c.store(c, std::memory_order_relaxed);
+    w.ctx.store(ctx, std::memory_order_relaxed);
+    w.kind.store(kind, std::memory_order_release);
+  }
+  ~WaitScope() { w.kind.store(0, std::memory_order_release); }
 };
 
 /// Per-rank mailbox: all communicators deliver here; receives filter by
@@ -58,15 +93,40 @@ struct RankCtx {
   double skew = 1.0;             ///< perturbation compute-skew factor
   std::uint64_t pseq = 0;        ///< per-message perturbation draw counter
 
+  // --- fault ledger (docs/ROBUSTNESS.md) ---
+  double fvt = 0.0;              ///< fault clock: vt + transport recovery delay
+  TransportStats tstats;         ///< reliable-transport counters
+  std::uint64_t fseq = 0;        ///< fault-draw counter (separate stream from
+                                 ///< pseq so adding delivery faults does not
+                                 ///< shift the timing draws; never reset)
+  /// Accepted per-sender sequence numbers (protocol self-check: a duplicate
+  /// reaching the application would be a transport bug). Only consulted
+  /// while delivery faults are active.
+  std::map<int, std::set<std::int64_t>> seen_seqs;
+  WaitInfo wait;                 ///< watchdog diagnostics for blocking waits
+  double vt_limit = std::numeric_limits<double>::infinity();
+
   bool tracing = false;          ///< RunOptions::trace
   RankTrace trace;               ///< event/span buffer (tracing only)
   std::int64_t send_seq = 0;     ///< per-sender message sequence (NOT reset
                                  ///< by reset_clock — seq stays unique)
   std::uint64_t trace_epoch = 0; ///< bumped by reset_clock; guards TraceSpan
 
+  /// Advances both clocks in lockstep (identical arithmetic keeps fvt
+  /// bitwise equal to vt while no faults intervene); receive/collective
+  /// sites then rewrite fvt with the mirrored fault-arrival expression.
   void advance(double seconds, TimeCategory cat) {
     vt += seconds;
+    fvt += seconds;
     category[static_cast<int>(cat)] += seconds;
+    if (vt > vt_limit) {
+      FaultReport r;
+      r.kind = FaultKind::kVtLimit;
+      r.rank = grank;
+      r.vt = vt;
+      r.detail = "virtual clock passed RunOptions::vt_limit";
+      throw FaultError(std::move(r));
+    }
   }
 
   /// Recording chokepoint: every clock advance that should appear in the
@@ -91,6 +151,11 @@ struct ClusterAborted : std::runtime_error {
   ClusterAborted() : std::runtime_error("cluster aborted: another rank failed") {}
 };
 
+/// Thrown into ranks parked on the deterministic scheduler when it proves
+/// the run is wedged (no READY or RUNNING rank, some BLOCKED). The catcher
+/// turns it into a structured FaultError naming its own blocked wait.
+struct SchedulerDeadlock {};
+
 /// Deterministic-mode run-token scheduler (docs/DETERMINISM.md).
 ///
 /// Exactly one rank executes at a time; every blocking point in the runtime
@@ -106,10 +171,18 @@ struct ClusterAborted : std::runtime_error {
 /// depend on thread start-up order.
 class Scheduler {
  public:
-  explicit Scheduler(int nranks)
-      : state_(static_cast<size_t>(nranks), State::kUnstarted),
+  explicit Scheduler(int nranks, bool watchdog)
+      : watchdog_(watchdog),
+        state_(static_cast<size_t>(nranks), State::kUnstarted),
         key_(static_cast<size_t>(nranks), 0.0),
         cv_(static_cast<size_t>(nranks)) {}
+
+  /// Invoked (under the scheduler lock) at the moment a deadlock is proven,
+  /// with some blocked rank as witness — while every parked rank's WaitInfo
+  /// is still published, so the report can name what each one waits on.
+  void set_deadlock_callback(std::function<void(int)> cb) {
+    deadlock_cb_ = std::move(cb);
+  }
 
   /// Registers the calling rank and waits for its first grant.
   void start(int rank) {
@@ -194,7 +267,26 @@ class Scheduler {
         best = static_cast<int>(r);  // key tie: lowest rank wins (scan order)
       }
     }
-    if (best < 0) return;  // everyone blocked or done
+    if (best < 0) {
+      // Everyone blocked or done. A BLOCKED rank can only be woken by a
+      // RUNNING rank, so if anyone is still blocked the run is provably
+      // wedged: wake the parked ranks with the deadlock verdict instead of
+      // sleeping forever (docs/ROBUSTNESS.md).
+      if (watchdog_ && !aborted_) {
+        for (size_t r = 0; r < state_.size(); ++r) {
+          if (state_[r] == State::kBlocked) {
+            aborted_ = true;
+            deadlocked_ = true;
+            // Build the report now: once the parked ranks start unwinding,
+            // their WaitScopes pop and the wait state is gone.
+            if (deadlock_cb_) deadlock_cb_(static_cast<int>(r));
+            for (auto& cv : cv_) cv.notify_all();
+            break;
+          }
+        }
+      }
+      return;
+    }
     state_[static_cast<size_t>(best)] = State::kRunning;
     running_ = best;
     // Per-rank condition variables: a handoff wakes exactly the new holder.
@@ -206,10 +298,16 @@ class Scheduler {
   void wait_for_token(std::unique_lock<std::mutex>& lk, int rank) {
     cv_[static_cast<size_t>(rank)].wait(
         lk, [&] { return aborted_ || running_ == rank; });
-    if (aborted_) throw ClusterAborted();
+    if (aborted_) {
+      if (deadlocked_) throw SchedulerDeadlock{};
+      throw ClusterAborted();
+    }
   }
 
+  bool watchdog_ = true;
   bool aborted_ = false;
+  bool deadlocked_ = false;
+  std::function<void(int)> deadlock_cb_;
   int started_ = 0;
   int running_ = -1;
   std::vector<State> state_;
@@ -223,13 +321,18 @@ class ClusterState {
  public:
   ClusterState(int nranks, MachineModel machine, const RunOptions& opts)
       : machine_(std::move(machine)), opts_(opts),
-        ranks_(static_cast<size_t>(nranks)) {
-    if (opts_.deterministic) sched_ = std::make_unique<Scheduler>(nranks);
+        ranks_(static_cast<size_t>(nranks)), active_(nranks) {
+    if (opts_.deterministic) {
+      sched_ = std::make_unique<Scheduler>(nranks, opts_.watchdog);
+      sched_->set_deadlock_callback(
+          [this](int witness) { record_fault(build_deadlock_report(witness)); });
+    }
     const bool skewed = machine_.perturb.compute_skew > 0.0;
     for (int r = 0; r < nranks; ++r) {
       RankCtx& ctx = ranks_[static_cast<size_t>(r)];
       ctx.grank = r;
       ctx.tracing = opts_.trace;
+      ctx.vt_limit = opts_.vt_limit;
       if (skewed) {
         ctx.skew = 1.0 + machine_.perturb.compute_skew *
                              perturb_uniform(opts_.seed, static_cast<std::uint64_t>(r),
@@ -256,6 +359,129 @@ class ClusterState {
     groups_.push_back(g);
   }
 
+  // --- watchdog bookkeeping (free-running mode; docs/ROBUSTNESS.md) ---
+
+  /// Bumped whenever anything that could unblock a waiter happens (a send
+  /// lands, a collective finalizes, a rank finishes).
+  void bump_progress() { progress_.fetch_add(1, std::memory_order_release); }
+
+  /// Rank thread is leaving (returned or threw): it can no longer send.
+  void rank_done() {
+    active_.fetch_sub(1, std::memory_order_acq_rel);
+    bump_progress();
+  }
+
+  /// Records the first fault of the run; returns true iff this call won.
+  bool record_fault(const FaultReport& r) {
+    std::lock_guard<std::mutex> lk(fault_mu_);
+    if (has_fault_) return false;
+    has_fault_ = true;
+    fault_ = r;
+    return true;
+  }
+
+  /// The fault recorded at detection time, or a freshly built (less
+  /// detailed, the waits are gone) report if none was.
+  FaultReport recorded_fault_or_report(int grank) {
+    {
+      std::lock_guard<std::mutex> lk(fault_mu_);
+      if (has_fault_) return fault_;
+    }
+    return build_deadlock_report(grank);
+  }
+
+  /// Builds the watchdog's deadlock report from `grank`'s own wait plus a
+  /// lock-free snapshot of what every parked rank says it is waiting on.
+  FaultReport build_deadlock_report(int grank) {
+    FaultReport r;
+    r.kind = FaultKind::kDeadlock;
+    r.rank = grank;
+    r.vt = ranks_[static_cast<size_t>(grank)].vt;
+    const WaitInfo& own = ranks_[static_cast<size_t>(grank)].wait;
+    if (own.kind.load(std::memory_order_acquire) == 1) {
+      r.peer = own.a.load(std::memory_order_relaxed);
+      r.tag = own.b.load(std::memory_order_relaxed);
+    }
+    std::string d = "no rank can make progress;";
+    int listed = 0;
+    for (size_t i = 0; i < ranks_.size(); ++i) {
+      const WaitInfo& w = ranks_[i].wait;
+      const int kind = w.kind.load(std::memory_order_acquire);
+      if (kind == 0) continue;
+      if (++listed > 12) {
+        d += " ...";
+        break;
+      }
+      char buf[96];
+      if (kind == 1) {
+        std::snprintf(buf, sizeof(buf),
+                      " rank %zu waiting on recv(src=%d, tags[%d,%d), ctx=%llu);",
+                      i, w.a.load(std::memory_order_relaxed),
+                      w.b.load(std::memory_order_relaxed),
+                      w.c.load(std::memory_order_relaxed),
+                      static_cast<unsigned long long>(
+                          w.ctx.load(std::memory_order_relaxed)));
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      " rank %zu waiting on collective(gen=%d, ctx=%llu);", i,
+                      w.a.load(std::memory_order_relaxed),
+                      static_cast<unsigned long long>(
+                          w.ctx.load(std::memory_order_relaxed)));
+      }
+      d += buf;
+    }
+    r.detail = std::move(d);
+    return r;
+  }
+
+  /// Free-running-mode blocking wait with deadlock detection: parks on `cv`
+  /// until `pred` holds. After every live rank has sat parked with the
+  /// progress counter frozen for the whole patience window, re-checks
+  /// `pred` one last time and declares a deadlock: records a FaultReport,
+  /// aborts the cluster and throws FaultError. Throws ClusterAborted if
+  /// woken by another rank's abort. `lk` guards `pred`'s state.
+  template <class Pred>
+  void blocking_wait(std::unique_lock<std::mutex>& lk, std::condition_variable& cv,
+                     int grank, Pred pred) {
+    if (!opts_.watchdog) {
+      cv.wait(lk, [&] { return pred() || aborted(); });
+      if (!pred()) throw ClusterAborted();
+      return;
+    }
+    waiting_.fetch_add(1, std::memory_order_acq_rel);
+    struct Depart {
+      std::atomic<int>& w;
+      ~Depart() { w.fetch_sub(1, std::memory_order_acq_rel); }
+    } depart{waiting_};
+    std::uint64_t snap = progress_.load(std::memory_order_acquire);
+    int quiet = 0;
+    for (;;) {
+      if (cv.wait_for(lk, std::chrono::milliseconds(100),
+                      [&] { return pred() || aborted(); })) {
+        break;
+      }
+      const std::uint64_t now = progress_.load(std::memory_order_acquire);
+      if (now != snap) {
+        snap = now;
+        quiet = 0;
+        continue;
+      }
+      if (++quiet < 3) continue;  // ~300 ms of real-time quiescence
+      if (waiting_.load(std::memory_order_acquire) <
+          active_.load(std::memory_order_acquire)) {
+        quiet = 0;  // someone is still computing — not a deadlock
+        continue;
+      }
+      if (pred() || aborted()) break;
+      FaultReport r = build_deadlock_report(grank);
+      lk.unlock();
+      record_fault(r);
+      abort();
+      throw FaultError(std::move(r));
+    }
+    if (!pred()) throw ClusterAborted();
+  }
+
  private:
   MachineModel machine_;
   RunOptions opts_;
@@ -263,6 +489,12 @@ class ClusterState {
   std::deque<RankCtx> ranks_;  // deque: RankCtx is not movable (mutex)
   std::uint64_t ctx_counter_ = 0;  // pre-incremented under group mutexes only
   std::atomic<bool> aborted_{false};
+  std::atomic<std::uint64_t> progress_{0};
+  std::atomic<int> waiting_{0};
+  std::atomic<int> active_;
+  std::mutex fault_mu_;
+  bool has_fault_ = false;
+  FaultReport fault_;
   std::mutex groups_mu_;
   std::vector<std::weak_ptr<CommGroup>> groups_;
 };
@@ -285,6 +517,7 @@ class CommGroup : public std::enable_shared_from_this<CommGroup> {
     int consumed = 0;
     bool ready = false;
     double max_vt = 0.0;
+    double max_fvt = 0.0;  ///< fault-clock sync point (barrier/allreduce_sum)
     std::vector<std::vector<Real>> contribs;        // allreduce inputs (by rank)
     std::vector<Real> reduce;                       // allreduce result
     std::vector<std::pair<int, int>> color_key;     // split inputs (by rank)
@@ -308,10 +541,12 @@ class CommGroup : public std::enable_shared_from_this<CommGroup> {
     if (++slot.arrived == size()) {
       finalize(slot);
       slot.ready = true;
+      cluster_->bump_progress();
       cv_.notify_all();
     } else {
-      cv_.wait(lk, [&] { return slot.ready || cluster_->aborted(); });
-      if (!slot.ready) throw ClusterAborted();
+      WaitScope ws(cluster_->rank(grank).wait, /*collective*/ 2,
+                   static_cast<int>(gen), 0, 0, ctx_);
+      cluster_->blocking_wait(lk, cv_, grank, [&] { return slot.ready; });
     }
     auto result = extract(slot);
     if (++slot.consumed == size()) slots_.erase(gen);
@@ -343,10 +578,13 @@ class CommGroup : public std::enable_shared_from_this<CommGroup> {
       }
     }
     if (finalized_here) {
+      cluster_->bump_progress();
       for (const int g : globals_) {
         if (g != grank) sched->wake(g);
       }
     } else {
+      WaitScope ws(cluster_->rank(grank).wait, /*collective*/ 2,
+                   static_cast<int>(gen), 0, 0, ctx_);
       for (;;) {
         {
           std::lock_guard<std::mutex> lk(mu_);
@@ -378,10 +616,18 @@ void ClusterState::abort() {
     std::lock_guard<std::mutex> lk(r.mailbox.mu);
     r.mailbox.cv.notify_all();
   }
-  std::lock_guard<std::mutex> lk(groups_mu_);
-  for (auto& wg : groups_) {
-    if (auto g = wg.lock()) g->wake_all();
+  // Snapshot under groups_mu_, wake outside it: split() registers new
+  // groups while holding a group mutex, so waking while holding groups_mu_
+  // would invert that order (groups_mu_ -> group mu_ vs the reverse).
+  std::vector<std::shared_ptr<CommGroup>> live;
+  {
+    std::lock_guard<std::mutex> lk(groups_mu_);
+    live.reserve(groups_.size());
+    for (auto& wg : groups_) {
+      if (auto g = wg.lock()) live.push_back(std::move(g));
+    }
   }
+  for (auto& g : live) g->wake_all();
 }
 
 }  // namespace detail
@@ -404,9 +650,13 @@ void Comm::compute(double flops) {
 
 void Comm::reset_clock() {
   ctx_->vt = 0.0;
+  ctx_->fvt = 0.0;
+  ctx_->tstats = TransportStats{};
   for (double& c : ctx_->category) c = 0.0;
   for (auto& m : ctx_->messages) m = 0;
   for (auto& b : ctx_->bytes) b = 0;
+  // fseq (like send_seq below) and seen_seqs survive: fault draws must not
+  // collide across phases and accepted sequence numbers stay unique.
   // Setup-phase events would break the fresh clock's contiguity; drop them.
   // send_seq is deliberately NOT reset: a pre-reset send could otherwise
   // alias a post-reset one under the same (rank, seq) matching key.
@@ -450,6 +700,10 @@ std::int64_t Comm::messages_sent(TimeCategory cat) const {
 std::int64_t Comm::bytes_sent(TimeCategory cat) const {
   return ctx_->bytes[static_cast<int>(cat)];
 }
+
+double Comm::fault_vtime() const { return ctx_->fvt; }
+
+const TransportStats& Comm::transport_stats() const { return ctx_->tstats; }
 
 void Comm::send(int dst, int tag, std::vector<Real> data, TimeCategory cat) {
   send_link(dst, tag, std::move(data), machine().net, machine().mpi_overhead, cat);
@@ -502,7 +756,33 @@ void Comm::send_link(int dst, int tag, std::vector<Real> data, const LinkParams&
   env.msg.tag = tag;
   env.msg.data = std::move(data);
   env.msg.arrival = ctx_->vt + latency + bytes / bandwidth + extra_delay;
+  // Fault-clock arrival mirrors the clean expression term for term, so the
+  // two stay bitwise equal until a delivery fault actually intervenes.
+  env.fault_arrival = ctx_->fvt + latency + bytes / bandwidth + extra_delay;
   const int dst_grank = group_->global_rank(dst);
+  if (pm.delivery_active()) {
+    // Reliable transport (docs/ROBUSTNESS.md): push the message through the
+    // analytic ack/retransmit simulation. The clean ledger above is already
+    // final — recovery delay and retransmit traffic land on the fault
+    // ledger only. The sender never blocks (buffered-send semantics: the
+    // retransmit timers run concurrently with the sender's progress).
+    const TransportOptions& topt = machine().transport;
+    const double flight = latency + bytes / bandwidth + extra_delay;
+    const double ack_flight = latency + topt.ack_bytes / bandwidth;
+    auto outcome = std::make_unique<TransportOutcome>(simulate_transport(
+        pm, topt, cluster->opts().seed, ctx_->grank, dst_grank, ctx_->vt, flight,
+        ack_flight, overhead, &ctx_->fseq));
+    env.fault_arrival += outcome->extra_delay;
+    env.checksum = payload_checksum(env.msg.data);
+    TransportStats& ts = ctx_->tstats;
+    ts.data_frames += outcome->attempts;
+    ts.retransmits += outcome->attempts - 1;
+    ts.retrans_bytes += static_cast<std::int64_t>(outcome->attempts - 1) *
+                        static_cast<std::int64_t>(env.msg.data.size() * sizeof(Real));
+    ts.timeouts += outcome->timeouts;
+    ts.frames_dropped += outcome->frames_dropped;
+    env.transport = std::move(outcome);
+  }
   if (ctx_->tracing) {
     TraceEvent e;
     e.kind = TraceEventKind::kSend;
@@ -515,6 +795,10 @@ void Comm::send_link(int dst, int tag, std::vector<Real> data, const LinkParams&
     e.arrival = env.msg.arrival;
     e.seq = env.seq;
     e.ctx = env.ctx;
+    if (env.transport) {
+      e.retrans = env.transport->attempts - 1;
+      e.fault_arrival = env.fault_arrival;
+    }
     ctx_->trace.events.push_back(e);
   }
   detail::Mailbox& box = cluster->rank(dst_grank).mailbox;
@@ -522,6 +806,7 @@ void Comm::send_link(int dst, int tag, std::vector<Real> data, const LinkParams&
     std::lock_guard<std::mutex> lk(box.mu);
     box.q.push_back(std::move(env));
   }
+  cluster->bump_progress();
   box.cv.notify_all();
   // Deterministic mode: the receiver parks in the scheduler, not on the
   // mailbox condition variable.
@@ -534,8 +819,14 @@ Message Comm::recv(int src, int tag, TimeCategory cat) {
 }
 
 Message Comm::recv_range(int src, int tag_lo, int tag_hi, TimeCategory cat) {
+  if (src != kAnySource && (src < 0 || src >= size())) {
+    throw std::out_of_range("Comm::recv: bad source");
+  }
   const bool any_tag = (tag_lo >= tag_hi);
   detail::Mailbox& box = ctx_->mailbox;
+  // Watchdog diagnostics: publish what this rank is about to wait on, so a
+  // wedged run names the blocking (src, tag) per rank (docs/ROBUSTNESS.md).
+  detail::WaitScope ws(ctx_->wait, /*recv*/ 1, src, tag_lo, tag_hi, group_->ctx());
   auto matches = [&](const detail::Envelope& e) {
     return e.ctx == group_->ctx() && (src == kAnySource || e.msg.src == src) &&
            (any_tag || (e.msg.tag >= tag_lo && e.msg.tag < tag_hi));
@@ -556,13 +847,60 @@ Message Comm::recv_range(int src, int tag_lo, int tag_hi, TimeCategory cat) {
     const int src_grank = best->src_grank;
     const std::int64_t seq = best->seq;
     const std::uint64_t env_ctx = best->ctx;
+    const std::uint64_t checksum = best->checksum;
+    const double fa = best->fault_arrival;
+    std::unique_ptr<const TransportOutcome> outcome = std::move(best->transport);
     Message msg = std::move(best->msg);
     box.q.erase(best);
+    if (outcome) {
+      if (outcome->failed) {
+        // The transport never got an intact copy through (retry budget
+        // exhausted or a permanent stall): fail the blocking receive with a
+        // structured report instead of waiting forever.
+        FaultReport r;
+        r.kind = outcome->stalled ? FaultKind::kRankStalled
+                                  : FaultKind::kRetriesExhausted;
+        r.rank = ctx_->grank;
+        r.peer = src_grank;
+        r.tag = msg.tag;
+        r.retries = outcome->attempts - 1;
+        r.vt = ctx_->vt;
+        r.detail = outcome->stalled
+                       ? "peer permanently stalled; no attempt was delivered"
+                       : "retry budget exhausted without an intact delivery";
+        throw FaultError(std::move(r));
+      }
+      // Receiver side of the fault ledger: acks returned, duplicates
+      // suppressed by the sequence numbers, corrupt frames the checksum
+      // rejected, stragglers resequenced on arrival.
+      TransportStats& ts = ctx_->tstats;
+      ts.acks += outcome->acks;
+      ts.ack_bytes += static_cast<std::int64_t>(outcome->acks) *
+                      static_cast<std::int64_t>(machine().transport.ack_bytes);
+      ts.corrupt_detected += outcome->corrupt;
+      ts.duplicates += outcome->duplicates;
+      ts.reordered += outcome->reordered ? 1 : 0;
+      // End-to-end verification on the accepted copy: the checksum stamped
+      // at send must match, and the per-sender sequence number must be
+      // fresh. A violation is a transport bug, not a modeled fault.
+      if (checksum != payload_checksum(msg.data)) {
+        throw std::logic_error("reliable transport: accepted payload fails checksum");
+      }
+      if (!ctx_->seen_seqs[src_grank].insert(seq).second) {
+        throw std::logic_error("reliable transport: duplicate reached the application");
+      }
+    }
     const double t0 = ctx_->vt;
+    const double ft0 = ctx_->fvt;
     // One advance covers wait-until-arrival plus software overhead, so the
     // clock math is bit-identical with tracing on or off; the trace splits
     // wait from commit analytically via the recorded arrival.
     ctx_->advance(std::max(0.0, msg.arrival - t0) + machine().mpi_overhead, cat);
+    // Rewrite the fault clock with the mirrored expression against the
+    // fault arrival: same ops, same order, so fvt == vt bitwise until a
+    // fault actually adds delay.
+    ctx_->fvt = ft0;
+    ctx_->fvt += std::max(0.0, fa - ft0) + machine().mpi_overhead;
     if (ctx_->tracing) {
       TraceEvent e;
       e.kind = TraceEventKind::kRecv;
@@ -575,6 +913,10 @@ Message Comm::recv_range(int src, int tag_lo, int tag_hi, TimeCategory cat) {
       e.arrival = msg.arrival;
       e.seq = seq;
       e.ctx = env_ctx;
+      if (outcome) {
+        e.retrans = outcome->attempts - 1;
+        e.fault_arrival = fa;
+      }
       ctx_->trace.events.push_back(e);
     }
     return msg;
@@ -605,12 +947,11 @@ Message Comm::recv_range(int src, int tag_lo, int tag_hi, TimeCategory cat) {
   }
 
   std::unique_lock<std::mutex> lk(box.mu);
-  std::deque<detail::Envelope>::iterator best;
-  box.cv.wait(lk, [&] {
+  std::deque<detail::Envelope>::iterator best = box.q.end();
+  group_->cluster()->blocking_wait(lk, box.cv, ctx_->grank, [&] {
     best = scan();
-    return best != box.q.end() || group_->cluster()->aborted();
+    return best != box.q.end();
   });
-  if (best == box.q.end()) throw detail::ClusterAborted();
   return take(best);
 }
 
@@ -646,11 +987,21 @@ void Comm::barrier(TimeCategory cat) {
                       (machine().net.latency + machine().mpi_overhead);
   const std::int64_t gen = coll_gen_++;
   const double my_vt = ctx_->vt;
-  const double sync_vt = group_->collective(
+  const double my_fvt = ctx_->fvt;
+  const auto sync = group_->collective(
       gen, ctx_->grank, my_vt,
-      [&](auto& slot) { slot.max_vt = std::max(slot.max_vt, my_vt); },
-      [](auto&) {}, [](auto& slot) { return slot.max_vt; });
+      [&](auto& slot) {
+        slot.max_vt = std::max(slot.max_vt, my_vt);
+        slot.max_fvt = std::max(slot.max_fvt, my_fvt);
+      },
+      [](auto&) {},
+      [](auto& slot) { return std::pair<double, double>(slot.max_vt, slot.max_fvt); });
+  const double sync_vt = sync.first;
   ctx_->advance(std::max(0.0, sync_vt - my_vt) + cost, cat);
+  // Mirrored fault-clock sync (same expression shape; bitwise-equal while
+  // the run is fault-free).
+  ctx_->fvt = my_fvt;
+  ctx_->fvt += std::max(0.0, sync.second - my_fvt) + cost;
   ctx_->messages[static_cast<int>(cat)] += tree_msgs;
   if (ctx_->tracing) {
     TraceEvent e;
@@ -676,11 +1027,13 @@ std::vector<Real> Comm::allreduce_sum(std::span<const Real> v, TimeCategory cat)
                        bytes / machine().net.bandwidth);
   const std::int64_t gen = coll_gen_++;
   const double my_vt = ctx_->vt;
+  const double my_fvt = ctx_->fvt;
   const int nmembers = size();
   auto result = group_->collective(
       gen, ctx_->grank, my_vt,
       [&](auto& slot) {
         slot.max_vt = std::max(slot.max_vt, my_vt);
+        slot.max_fvt = std::max(slot.max_fvt, my_fvt);
         if (slot.contribs.empty()) {
           slot.contribs.resize(static_cast<size_t>(nmembers));
         }
@@ -699,9 +1052,12 @@ std::vector<Real> Comm::allreduce_sum(std::span<const Real> v, TimeCategory cat)
         }
       },
       [](auto& slot) {
-        return std::pair<std::vector<Real>, double>(slot.reduce, slot.max_vt);
+        return std::tuple<std::vector<Real>, double, double>(slot.reduce, slot.max_vt,
+                                                             slot.max_fvt);
       });
-  ctx_->advance(std::max(0.0, result.second - ctx_->vt) + cost, cat);
+  ctx_->advance(std::max(0.0, std::get<1>(result) - ctx_->vt) + cost, cat);
+  ctx_->fvt = my_fvt;
+  ctx_->fvt += std::max(0.0, std::get<2>(result) - my_fvt) + cost;
   const std::int64_t payload = static_cast<std::int64_t>(v.size() * sizeof(Real));
   ctx_->messages[static_cast<int>(cat)] += tree_msgs;
   ctx_->bytes[static_cast<int>(cat)] += tree_msgs * payload;
@@ -712,13 +1068,13 @@ std::vector<Real> Comm::allreduce_sum(std::span<const Real> v, TimeCategory cat)
     e.t0 = my_vt;
     e.t1 = ctx_->vt;
     e.bytes = payload;
-    e.arrival = result.second;
+    e.arrival = std::get<1>(result);
     e.seq = gen;
     e.ctx = group_->ctx();
     e.label = "allreduce";
     ctx_->trace.events.push_back(e);
   }
-  return std::move(result.first);
+  return std::move(std::get<0>(result));
 }
 
 double Comm::allreduce_max(double v) {
@@ -846,9 +1202,45 @@ std::uint64_t Cluster::Result::fingerprint() const {
   return h;
 }
 
-Cluster::Result Cluster::run(int nranks, const MachineModel& machine,
-                             const std::function<void(Comm&)>& rank_fn,
-                             const RunOptions& opts) {
+double Cluster::Result::fault_makespan() const {
+  double m = 0;
+  for (const auto& r : ranks) m = std::max(m, r.fault_vtime);
+  return m;
+}
+
+TransportStats Cluster::Result::transport_totals() const {
+  TransportStats t;
+  for (const auto& r : ranks) t += r.transport;
+  return t;
+}
+
+std::uint64_t Cluster::Result::fault_fingerprint() const {
+  // Extends fingerprint() with the fault ledger; with no faults injected the
+  // transport counters are zero and fault_vtime == vtime, so this value is
+  // still seed-stable (but distinct from fingerprint()).
+  std::uint64_t h = fingerprint();
+  auto mix = [&h](std::uint64_t v) { h = detail::hash64(h ^ v); };
+  for (const auto& r : ranks) {
+    mix(std::bit_cast<std::uint64_t>(r.fault_vtime));
+    const TransportStats& t = r.transport;
+    mix(static_cast<std::uint64_t>(t.data_frames));
+    mix(static_cast<std::uint64_t>(t.retransmits));
+    mix(static_cast<std::uint64_t>(t.retrans_bytes));
+    mix(static_cast<std::uint64_t>(t.timeouts));
+    mix(static_cast<std::uint64_t>(t.frames_dropped));
+    mix(static_cast<std::uint64_t>(t.acks));
+    mix(static_cast<std::uint64_t>(t.ack_bytes));
+    mix(static_cast<std::uint64_t>(t.corrupt_detected));
+    mix(static_cast<std::uint64_t>(t.duplicates));
+    mix(static_cast<std::uint64_t>(t.reordered));
+  }
+  return h;
+}
+
+Cluster::Result Cluster::run_impl(int nranks, const MachineModel& machine,
+                                  const std::function<void(Comm&)>& rank_fn,
+                                  const RunOptions& opts,
+                                  std::exception_ptr* err_out) {
   if (nranks <= 0) throw std::invalid_argument("Cluster::run: nranks must be positive");
   detail::ClusterState state(nranks, machine, opts);
   std::vector<int> globals(static_cast<size_t>(nranks));
@@ -872,6 +1264,18 @@ Cluster::Result Cluster::run(int nranks, const MachineModel& machine,
       } catch (const detail::ClusterAborted&) {
         // Secondary casualty of another rank's failure; the original
         // exception is already recorded.
+      } catch (const detail::SchedulerDeadlock&) {
+        // The deterministic scheduler proved no rank can make progress and
+        // recorded the report at detection time (before the parked ranks'
+        // wait state unwound); every casualty rank lands here.
+        FaultReport rep = state.recorded_fault_or_report(r);
+        {
+          std::lock_guard<std::mutex> lk(error_mu);
+          if (!first_error) {
+            first_error = std::make_exception_ptr(FaultError(std::move(rep)));
+          }
+        }
+        state.abort();
       } catch (...) {
         {
           std::lock_guard<std::mutex> lk(error_mu);
@@ -879,28 +1283,62 @@ Cluster::Result Cluster::run(int nranks, const MachineModel& machine,
         }
         state.abort();
       }
+      state.rank_done();
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
 
-  Result res;
+  Cluster::Result res;
   res.ranks.resize(static_cast<size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
-    res.ranks[static_cast<size_t>(r)].vtime = state.rank(r).vt;
+    RankStats& out = res.ranks[static_cast<size_t>(r)];
+    out.vtime = state.rank(r).vt;
+    out.fault_vtime = state.rank(r).fvt;
+    out.transport = state.rank(r).tstats;
     for (int c = 0; c < kNumTimeCategories; ++c) {
-      res.ranks[static_cast<size_t>(r)].category[c] = state.rank(r).category[c];
-      res.ranks[static_cast<size_t>(r)].messages[c] = state.rank(r).messages[c];
-      res.ranks[static_cast<size_t>(r)].bytes[c] = state.rank(r).bytes[c];
+      out.category[c] = state.rank(r).category[c];
+      out.messages[c] = state.rank(r).messages[c];
+      out.bytes[c] = state.rank(r).bytes[c];
     }
   }
-  if (opts.trace) {
+  if (opts.trace && !first_error) {
     std::vector<RankTrace> buffers;
     buffers.reserve(static_cast<size_t>(nranks));
     for (int r = 0; r < nranks; ++r) {
       buffers.push_back(std::move(state.rank(r).trace));
     }
     res.trace = std::make_shared<const Trace>(Trace::build(std::move(buffers)));
+  }
+  *err_out = first_error;
+  return res;
+}
+
+Cluster::Result Cluster::run(int nranks, const MachineModel& machine,
+                             const std::function<void(Comm&)>& rank_fn,
+                             const RunOptions& opts) {
+  std::exception_ptr err;
+  Result res = run_impl(nranks, machine, rank_fn, opts, &err);
+  if (err) std::rethrow_exception(err);
+  return res;
+}
+
+Cluster::Result Cluster::try_run(int nranks, const MachineModel& machine,
+                                 const std::function<void(Comm&)>& rank_fn,
+                                 const RunOptions& opts) {
+  std::exception_ptr err;
+  Result res = run_impl(nranks, machine, rank_fn, opts, &err);
+  if (err) {
+    try {
+      std::rethrow_exception(err);
+    } catch (const FaultError& fe) {
+      res.fault = fe.report;
+      res.error = fe.what();
+    } catch (const std::exception& e) {
+      res.error = e.what();
+    } catch (...) {
+      res.error = "unknown error";
+    }
+    if (res.error.empty()) res.error = "unknown error";
   }
   return res;
 }

@@ -33,8 +33,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "runtime/machine.hpp"
@@ -59,6 +61,17 @@ struct RunOptions {
   /// publish it as Cluster::Result::trace. Recording never changes modeled
   /// results — clock math is identical with tracing on or off.
   bool trace = false;
+  /// Convert would-be infinite hangs (a receive no send will ever match, a
+  /// collective a dead rank never joins) into a structured FaultReport
+  /// (docs/ROBUSTNESS.md). In deterministic mode detection is exact (the
+  /// scheduler sees the global blocked state); in free-running mode a
+  /// quiescence watchdog declares after the whole cluster sits blocked with
+  /// no progress for a real-time patience window.
+  bool watchdog = true;
+  /// Abort with FaultKind::kVtLimit once any rank's clean virtual clock
+  /// passes this bound (infinity = unlimited). A cheap guard against
+  /// runaway modeled time under pathological fault schedules.
+  double vt_limit = std::numeric_limits<double>::infinity();
 };
 
 /// A received message.
@@ -166,6 +179,14 @@ class Comm {
   /// `barrier` messages are zero-byte.
   std::int64_t bytes_sent(TimeCategory cat) const;
 
+  // --- fault ledger (docs/ROBUSTNESS.md; all zero without delivery faults) ---
+  /// This rank's fault clock: the clean clock plus every recovery delay
+  /// (retransmit timeouts, straggler flights) the reliable transport
+  /// absorbed. Bitwise equal to vtime() when no delivery faults are set.
+  double fault_vtime() const;
+  /// This rank's reliable-transport counters since reset_clock.
+  const TransportStats& transport_stats() const;
+
   /// Opens a zero-cost annotation span labeled `label` (must be a string
   /// literal or otherwise outlive the run) with an optional caller-chosen
   /// discriminator `arg` (level, row id, ...). The span closes when the
@@ -184,12 +205,18 @@ class Comm {
   std::int64_t coll_gen_ = 0;       // this rank's collective sequence number
 };
 
-/// Per-rank outcome of a cluster run.
+/// Per-rank outcome of a cluster run. The first four fields are the clean
+/// ledger (fault-free by construction, hashed by Result::fingerprint);
+/// fault_vtime and transport carry the reliable transport's recovery cost
+/// and traffic, and coincide with the clean ledger when no delivery faults
+/// are configured.
 struct RankStats {
   double vtime = 0.0;
   double category[kNumTimeCategories] = {0, 0, 0, 0};
   std::int64_t messages[kNumTimeCategories] = {0, 0, 0, 0};
   std::int64_t bytes[kNumTimeCategories] = {0, 0, 0, 0};
+  double fault_vtime = 0.0;
+  TransportStats transport;
 };
 
 /// Distribution summary of one per-rank statistic (Figs 7-8 load-balance
@@ -217,8 +244,19 @@ class Cluster {
     std::vector<RankStats> ranks;
     /// Merged event trace; non-null iff RunOptions::trace was set.
     std::shared_ptr<const Trace> trace;
+    /// First fault a rank hit (kind == FaultKind::kNone on success). Only
+    /// populated by try_run — plain run throws instead.
+    FaultReport fault;
+    /// First error message of a failed try_run ("" on success).
+    std::string error;
+    bool ok() const { return error.empty(); }
     /// Modeled solve makespan: max vtime over ranks.
     double makespan() const;
+    /// Makespan on the fault clock: max fault_vtime over ranks — the clean
+    /// makespan plus the recovery delay on the slowest rank.
+    double fault_makespan() const;
+    /// Sum of every rank's reliable-transport counters.
+    TransportStats transport_totals() const;
     /// Mean over ranks of one category (paper plots rank-averaged bars).
     double mean_category(TimeCategory cat) const;
     double max_category(TimeCategory cat) const;
@@ -227,17 +265,39 @@ class Cluster {
     Spread category_spread(TimeCategory cat) const;
     /// Distribution of per-rank total virtual times.
     Spread vtime_spread() const;
-    /// Order-sensitive hash of every per-rank statistic (clock bits,
-    /// category times, message/byte counts). Two deterministic runs of the
-    /// same program must produce equal fingerprints; repeatability checks
-    /// and benches compare this single value.
+    /// Order-sensitive hash of every per-rank *clean-ledger* statistic
+    /// (clock bits, category times, message/byte counts). Two deterministic
+    /// runs of the same program must produce equal fingerprints;
+    /// repeatability checks and benches compare this single value. Delivery
+    /// faults never move it — that is the reliable transport's contract.
     std::uint64_t fingerprint() const;
+    /// fingerprint() extended with the fault ledger (fault clocks and
+    /// transport counters) — pins the *fault schedule* itself, so a seeded
+    /// faulty run is bit-reproducible end to end.
+    std::uint64_t fault_fingerprint() const;
   };
 
   /// Runs `rank_fn(comm)` on every rank of a world of size `nranks`.
+  /// A rank's exception (including FaultError) is rethrown after join.
   static Result run(int nranks, const MachineModel& machine,
                     const std::function<void(Comm&)>& rank_fn,
                     const RunOptions& opts = {});
+
+  /// Like run, but never throws on a rank failure: the Result carries the
+  /// first error string and, for fault-terminated runs, the structured
+  /// FaultReport (docs/ROBUSTNESS.md). Statistics reflect the state at
+  /// abort. Invalid arguments still throw.
+  static Result try_run(int nranks, const MachineModel& machine,
+                        const std::function<void(Comm&)>& rank_fn,
+                        const RunOptions& opts = {});
+
+ private:
+  /// Shared body of run/try_run: always returns the statistics gathered up
+  /// to completion or abort, and hands the first per-rank error (if any)
+  /// back through `err_out` for the caller to rethrow or record.
+  static Result run_impl(int nranks, const MachineModel& machine,
+                         const std::function<void(Comm&)>& rank_fn,
+                         const RunOptions& opts, std::exception_ptr* err_out);
 };
 
 }  // namespace sptrsv

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "runtime/perturbation.hpp"
+#include "runtime/reliable.hpp"
 
 namespace sptrsv {
 
@@ -56,10 +57,16 @@ struct MachineModel {
   /// larger than 1x1 are not allowed on that machine (paper §3.4).
   bool shmem_subcomm_support = true;
 
-  /// Seeded timing-only fault injection (latency jitter, link degradation
-  /// schedules, compute skew, delivery delays). Inactive by default; the
-  /// seed driving its draws lives in RunOptions (see cluster.hpp).
+  /// Seeded fault injection: timing knobs (latency jitter, link degradation
+  /// schedules, compute skew, delivery delays) perturb the clean clock;
+  /// delivery knobs (drop/dup/corrupt/reorder, rank stalls) engage the
+  /// reliable transport (docs/ROBUSTNESS.md). Inactive by default; the seed
+  /// driving its draws lives in RunOptions (see cluster.hpp).
   PerturbationModel perturb;
+
+  /// Reliable-transport tuning (retransmit timeout, backoff, retry budget,
+  /// ack size). Only consulted while perturb.delivery_active().
+  TransportOptions transport;
 
   /// Cori Haswell: Xeon E5-2698v3 cores, Cray Aries. CPU-only experiments
   /// (paper Fig 4-8).

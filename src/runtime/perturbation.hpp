@@ -2,13 +2,18 @@
 /// \file perturbation.hpp
 /// \brief Time-breakdown categories and the seeded fault/perturbation model.
 ///
-/// The PerturbationModel injects *timing-only* faults into the virtual
-/// clock: message latency jitter, scheduled link degradation, per-rank
-/// compute skew, and delivery-delay windows. Payloads, message counts and
-/// numerical results are never touched, so a solver that is correct must
-/// produce bit-identical solutions and message counts under every seed —
-/// the invariant tests/test_determinism.cpp asserts. Randomness is a pure
-/// counter-based hash of (seed, rank, draw index), so a draw does not
+/// The PerturbationModel injects seeded faults into the runtime. The
+/// *timing* knobs (latency jitter, scheduled link degradation, per-rank
+/// compute skew, delivery-delay windows) perturb the virtual clock only:
+/// payloads, message counts and numerical results are never touched, so a
+/// solver that is correct must produce bit-identical solutions and message
+/// counts under every seed — the invariant tests/test_determinism.cpp
+/// asserts. The *delivery* knobs (drop / duplicate / corrupt / reorder
+/// probabilities, per-link faults, rank-stall schedules) feed the reliable
+/// transport layer (runtime/reliable.hpp, docs/ROBUSTNESS.md): the clean
+/// clock and counters still never move, and recovery cost lands on the
+/// parallel fault clock and TransportStats ledger instead. Randomness is a
+/// pure counter-based hash of (seed, rank, draw index), so a draw does not
 /// depend on thread scheduling and a failing seed replays exactly.
 ///
 /// The model is attached to MachineModel (a degraded machine is still a
@@ -57,10 +62,62 @@ struct PerturbationModel {
   };
   std::vector<LinkDegradation> degradations;
 
-  /// True if any knob deviates from the identity model.
+  // --- delivery faults (reliable transport, docs/ROBUSTNESS.md) ---
+  // These never perturb the clean clock/counters; they drive the analytic
+  // ack/retransmit simulation whose cost lands on the fault clock.
+
+  /// Probability a network frame (data or ack) is dropped.
+  double drop_prob = 0.0;
+  /// Probability a delivered, acked data frame is followed by a spurious
+  /// duplicate (suppressed by the receiver's sequence numbers).
+  double dup_prob = 0.0;
+  /// Probability a delivered data frame arrives with flipped payload bits
+  /// (caught by the end-to-end checksum; the receiver discards, the sender
+  /// times out and retransmits).
+  double corrupt_prob = 0.0;
+  /// Probability a delivered frame straggles behind later traffic by
+  /// U[0, reorder_window) extra virtual seconds. The transport resequences
+  /// via per-peer sequence numbers, so the application-visible order is
+  /// unchanged; the straggle delay lands on the fault clock.
+  double reorder_prob = 0.0;
+  double reorder_window = 0.0;
+
+  /// Extra drop probability on one directed link; -1 matches any rank.
+  /// The worst matching probability (including the global drop_prob) wins.
+  struct LinkFault {
+    int src = -1;  ///< sender world rank, -1 = any
+    int dst = -1;  ///< receiver world rank, -1 = any
+    double drop_prob = 0.0;
+  };
+  std::vector<LinkFault> link_faults;
+
+  /// Scheduled rank stall: within the sender-clock window
+  /// [vt_begin, vt_end), frames to or from `rank` either crawl (flight
+  /// multiplied by `flight_factor` — a slow straggler) or, if `permanent`,
+  /// are never delivered at all (an outage; retransmits that land past
+  /// vt_end recover, an infinite window exhausts the retry budget and
+  /// surfaces as a FaultReport).
+  struct RankStall {
+    int rank = -1;  ///< world rank, -1 = any
+    double vt_begin = 0.0;
+    double vt_end = std::numeric_limits<double>::infinity();
+    double flight_factor = 1.0;
+    bool permanent = false;
+  };
+  std::vector<RankStall> stalls;
+
+  /// True if any timing knob deviates from the identity model (these alter
+  /// the clean virtual clock).
   bool active() const {
     return latency_jitter > 0.0 || delivery_delay > 0.0 || compute_skew > 0.0 ||
            !degradations.empty();
+  }
+
+  /// True if any delivery-fault knob is set (these engage the reliable
+  /// transport; the clean clock and counters are still never altered).
+  bool delivery_active() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || corrupt_prob > 0.0 ||
+           reorder_prob > 0.0 || !link_faults.empty() || !stalls.empty();
   }
 };
 

@@ -238,12 +238,27 @@ void Trace::write_chrome_json(std::ostream& os) const {
       switch (e.kind) {
         case TraceEventKind::kSend:
         case TraceEventKind::kRecv: {
-          char a[160];
+          char a[224];
+          // Transport fields are emitted only when a fault actually hit this
+          // message, so fault-free traces serialize byte-identically to a
+          // build without the reliable transport.
+          char extra[96] = "";
+          if (e.retrans > 0) {
+            std::snprintf(extra, sizeof(extra), ",\"retrans\":%d",
+                          static_cast<int>(e.retrans));
+          }
+          if (e.kind == TraceEventKind::kRecv && e.fault_arrival > e.arrival) {
+            const size_t len = std::strlen(extra);
+            std::snprintf(extra + len, sizeof(extra) - len,
+                          ",\"fault_delay_us\":%s",
+                          us(e.fault_arrival - e.arrival).c_str());
+          }
           std::snprintf(a, sizeof(a),
                         ",\"args\":{\"peer\":%d,\"tag\":%d,\"bytes\":%lld,"
-                        "\"wait_us\":%s}",
+                        "\"wait_us\":%s%s}",
                         e.peer, e.tag, static_cast<long long>(e.bytes),
-                        us(std::max(0.0, std::min(e.arrival, e.t1) - e.t0)).c_str());
+                        us(std::max(0.0, std::min(e.arrival, e.t1) - e.t0)).c_str(),
+                        extra);
           args = a;
           break;
         }
@@ -284,6 +299,23 @@ void Trace::write_chrome_json(std::ostream& os) const {
                   "\"id\":%zu,\"name\":\"msg\",\"cat\":\"flow\"}",
                   edge.dst_rank, us(land).c_str(), i);
     emit(buf);
+    if (d.retrans > 0 && d.fault_arrival > 0.0) {
+      // Recovered message: a second arrow in its own category shows where
+      // the accepted copy landed on the fault clock, making retransmission
+      // delay visible next to the clean-flight arrow. Ids continue past the
+      // clean-arrow range so the two sets never collide.
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"s\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"id\":%zu,"
+                    "\"name\":\"retransmit\",\"cat\":\"transport\"}",
+                    edge.src_rank, us(s.t1).c_str(), edges_.size() + i);
+      emit(buf);
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":%d,\"ts\":%s,"
+                    "\"id\":%zu,\"name\":\"retransmit\",\"cat\":\"transport\"}",
+                    edge.dst_rank, us(std::max(land, d.fault_arrival)).c_str(),
+                    edges_.size() + i);
+      emit(buf);
+    }
   }
   os << "\n]}\n";
 }

@@ -62,6 +62,12 @@ struct TraceEvent {
   /// matching key, unique per sender); collective: the generation number.
   std::int64_t seq = 0;
   std::uint64_t ctx = 0;  ///< communicator context id
+  /// Reliable-transport retransmissions behind this message (send/recv under
+  /// delivery faults; 0 otherwise — clean traces serialize unchanged).
+  std::int32_t retrans = 0;
+  /// Fault-clock arrival of the accepted copy (recv under delivery faults;
+  /// equals `arrival` plus the recovery delay). 0 when no transport ran.
+  double fault_arrival = 0.0;
   /// Optional static-string label ("barrier", "allreduce", GPU-sim task
   /// names). Must point at storage outliving the trace (string literals).
   const char* label = nullptr;

@@ -38,6 +38,21 @@ inline MachineModel perturbed_machine(double latency_jitter = 0.5,
   return m;
 }
 
+/// Test machine with a lossy network: drop / duplicate / corrupt / reorder
+/// delivery faults at recoverable rates (the default TransportOptions retry
+/// budget absorbs them), driving the reliable transport of
+/// docs/ROBUSTNESS.md. The clean ledger must be untouched by any of this.
+inline MachineModel faulty_machine(double drop = 0.1, double dup = 0.05,
+                                   double corrupt = 0.02, double reorder = 0.05) {
+  MachineModel m = test_machine();
+  m.perturb.drop_prob = drop;
+  m.perturb.dup_prob = dup;
+  m.perturb.corrupt_prob = corrupt;
+  m.perturb.reorder_prob = reorder;
+  m.perturb.reorder_window = 5e-6;
+  return m;
+}
+
 /// Seeded dense RHS, n x nrhs column-major in [-1, 1).
 inline std::vector<Real> random_rhs(Idx n, Idx nrhs, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
