@@ -56,6 +56,18 @@ inline double bench_fault_drop() {
   return std::atof(v);
 }
 
+/// SPTRSV_BENCH_CRASH=<mtbf_seconds> arms a Poisson crash-stop model with
+/// the given per-rank mean time between failures. Ranks die mid-solve and
+/// are recovered (heartbeat detection, spare adoption, buddy-checkpoint
+/// restore — docs/ROBUSTNESS.md), so the printed tables are unchanged; each
+/// sweep point adds a `# crash:` line reporting the crashes absorbed, the
+/// checkpoint-traffic overhead and the recovery time on the fault clock.
+inline double bench_crash_mtbf() {
+  const char* v = std::getenv("SPTRSV_BENCH_CRASH");
+  if (v == nullptr || v[0] == '\0') return 0.0;
+  return std::atof(v);
+}
+
 /// SPTRSV_BENCH_DETERMINISTIC=1 runs every solve in the deterministic
 /// scheduler mode: slower (ranks serialize on the run token), but two runs
 /// of a bench print byte-identical tables (docs/DETERMINISM.md).
@@ -82,6 +94,12 @@ inline void print_mode_banner() {
         "# lossy network: drop_prob=%.3f, reliable transport retransmits "
         "(tables unchanged; fault-clock overhead per sweep point)\n",
         drop);
+  }
+  if (const double mtbf = bench_crash_mtbf(); mtbf > 0.0) {
+    std::printf(
+        "# crash-stop: mtbf=%.3e s/rank, buddy-checkpoint recovery "
+        "(tables unchanged; recovery overhead per sweep point)\n",
+        mtbf);
   }
 }
 
@@ -149,6 +167,14 @@ inline DistSolveOutcome run_cpu(const FactoredSystem& fs, const Grid3dShape& sha
   if (const double drop = bench_fault_drop(); drop > 0.0) {
     m.perturb.drop_prob = drop;
   }
+  if (const double mtbf = bench_crash_mtbf(); mtbf > 0.0) {
+    m.perturb.crash_mtbf = mtbf;
+    // A sweep wants overhead lines, not unrecoverable-verdict demos (the
+    // tests own those): widen the spare pool to the cluster size so large
+    // points survive several deaths. A buddy-pair loss still aborts the
+    // bench — raise the MTBF if a sweep trips one.
+    m.recovery.spare_ranks = shape.px * shape.py * shape.pz;
+  }
   const auto b = bench_rhs(fs.lu.n(), nrhs);
   DistSolveOutcome out = solve_system_3d(fs, b, cfg, m);
   if (bench_fault_drop() > 0.0) {
@@ -162,6 +188,20 @@ inline DistSolveOutcome run_cpu(const FactoredSystem& fs, const Grid3dShape& sha
                 static_cast<long long>(t.acks),
                 static_cast<long long>(t.ack_bytes), clean, faulty,
                 clean > 0.0 ? 100.0 * (faulty - clean) / clean : 0.0);
+  }
+  if (bench_crash_mtbf() > 0.0) {
+    const RecoveryStats rec = out.run_stats.recovery_stats();
+    const double clean = out.run_stats.makespan();
+    const double recovery = rec.detect_time + rec.repair_time +
+                            rec.restore_time + rec.replay_time;
+    std::printf("# crash: crashes=%lld spares=%lld, checkpoints=%lld "
+                "(%lld bytes, +%.1f%% of makespan), recovery %.3e s\n",
+                static_cast<long long>(rec.crashes),
+                static_cast<long long>(rec.spares_used),
+                static_cast<long long>(rec.checkpoints),
+                static_cast<long long>(rec.checkpoint_bytes),
+                clean > 0.0 ? 100.0 * rec.checkpoint_time / clean : 0.0,
+                recovery);
   }
   maybe_dump_trace(out.run_stats.trace.get(),
                    std::string(alg == Algorithm3d::kProposed ? "new" : "base") + "_" +

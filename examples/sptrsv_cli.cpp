@@ -6,11 +6,17 @@
 ///              [--shape PXxPYxPZ] [--alg new|baseline] [--tree binary|flat]
 ///              [--machine cori|perlmutter|crusher] [--nrhs N]
 ///              [--backend cpu|gpu] [--refine] [--csv] [--trace FILE]
+///              [--crash R@T] [--mtbf SECONDS]
 ///
 /// Examples:
 ///   sptrsv_cli --matrix s2D9pt2048 --shape 4x4x8 --alg new
 ///   sptrsv_cli --matrix my.mtx --shape 1x1x4 --machine perlmutter --backend gpu
 ///   sptrsv_cli --matrix nlpkkt80 --scale medium --shape 2x2x16 --refine
+///   sptrsv_cli --matrix s2D9pt2048 --shape 2x2x2 --crash 3@1e-4
+///
+/// Exit codes: 0 success, 1 numeric/IO failure, 2 usage, 3 structured fault
+/// (the FaultReport diagnostics — kind, rank, peer, tag, phase — go to
+/// stderr on every path).
 
 #include <cstdio>
 #include <cstring>
@@ -34,7 +40,8 @@ namespace {
                "          [--shape PXxPYxPZ] [--alg new|baseline] [--tree "
                "binary|flat]\n"
                "          [--machine cori|perlmutter|crusher] [--nrhs N]\n"
-               "          [--backend cpu|gpu] [--refine] [--csv] [--trace FILE]\n",
+               "          [--backend cpu|gpu] [--refine] [--csv] [--trace FILE]\n"
+               "          [--crash R@T]... [--mtbf SECONDS]\n",
                argv0);
   std::exit(2);
 }
@@ -64,6 +71,8 @@ int main(int argc, char** argv) {
   Idx nrhs = 1;
   bool gpu = false, refine = false, csv = false;
   std::string trace_path;
+  std::vector<PerturbationModel::Crash> crashes;
+  double mtbf = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -99,15 +108,26 @@ int main(int argc, char** argv) {
       csv = true;
     } else if (a == "--trace") {
       trace_path = next();
+    } else if (a == "--crash") {
+      PerturbationModel::Crash c;
+      if (std::sscanf(next().c_str(), "%d@%lf", &c.rank, &c.vt) != 2) {
+        usage(argv[0]);
+      }
+      crashes.push_back(c);
+    } else if (a == "--mtbf") {
+      mtbf = std::atof(next().c_str());
     } else {
       usage(argv[0]);
     }
   }
 
-  const MachineModel machine = machine_name == "perlmutter" ? MachineModel::perlmutter()
-                               : machine_name == "crusher"  ? MachineModel::crusher()
-                                                            : MachineModel::cori_haswell();
+  MachineModel machine = machine_name == "perlmutter" ? MachineModel::perlmutter()
+                         : machine_name == "crusher"  ? MachineModel::crusher()
+                                                      : MachineModel::cori_haswell();
+  machine.perturb.crashes = crashes;
+  machine.perturb.crash_mtbf = mtbf;
 
+  try {
   const CsrMatrix a = load_matrix(matrix, scale);
   int levels = 0;
   while ((1 << levels) < shape.pz) ++levels;
@@ -187,5 +207,29 @@ int main(int argc, char** argv) {
                 out.mean(&RankPhaseTimes::l_z) + out.mean(&RankPhaseTimes::z_time) +
                     out.mean(&RankPhaseTimes::u_z));
   }
+  if (machine.perturb.crash_active()) {
+    const RecoveryStats rec = out.run_stats.recovery_stats();
+    std::printf(
+        "  recovery: crashes=%lld spares=%lld checkpoints=%lld (%lld B) "
+        "restores=%lld\n"
+        "            detect %.3e s, repair %.3e s, restore %.3e s, replay "
+        "%.3e s; fault makespan %.3e s (clean %.3e s)\n",
+        static_cast<long long>(rec.crashes), static_cast<long long>(rec.spares_used),
+        static_cast<long long>(rec.checkpoints),
+        static_cast<long long>(rec.checkpoint_bytes),
+        static_cast<long long>(rec.restores), rec.detect_time, rec.repair_time,
+        rec.restore_time, rec.replay_time, out.run_stats.fault_makespan(),
+        out.run_stats.makespan());
+  }
   return resid < 1e-9 ? 0 : 1;
+  } catch (const FaultError& fe) {
+    // Structured fault diagnostics — kind, rank, peer, tag, retries, vt and
+    // the solver phase the report unwound through — on every path, with one
+    // consistent exit code.
+    std::fprintf(stderr, "%s\n", fe.report.to_string().c_str());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

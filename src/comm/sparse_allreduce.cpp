@@ -89,6 +89,43 @@ void sparse_allreduce(Comm& zcomm, const NdTree& tree,
   const int levels = tree.levels();
   const int z = zcomm.rank();
 
+  // Buddy checkpoint of the in-flight allreduce partials, cut after every
+  // exchange level. Partials mutate in place (that is the whole point of
+  // the reduction), so restore validation checks the layout only — every
+  // checkpointed segment must still exist with its checkpointed length.
+  int ckpt_level = 0;
+  const CheckpointScope ckpt = zcomm.register_checkpoint(
+      "sparse_allreduce",
+      [&] {
+        std::vector<Real> buf;
+        buf.push_back(static_cast<Real>(segments.size()));
+        buf.push_back(static_cast<Real>(ckpt_level));
+        for (const auto& s : segments) {
+          buf.push_back(static_cast<Real>(s.node));
+          buf.push_back(static_cast<Real>(s.values.size()));
+          buf.insert(buf.end(), s.values.begin(), s.values.end());
+        }
+        return buf;
+      },
+      [&](const CheckpointImage& img) {
+        const std::vector<Real>& s = img.state;
+        const auto count = s.size() < 2 ? 0 : static_cast<std::size_t>(s[0]);
+        if (count != segments.size()) {
+          throw std::logic_error(
+              "sparse_allreduce: checkpoint image disagrees with live state");
+        }
+        std::size_t pos = 2;
+        for (std::size_t e = 0; e < count; ++e) {
+          const auto node = static_cast<Idx>(s[pos]);
+          const auto len = static_cast<std::size_t>(s[pos + 1]);
+          if (segments[e].node != node || segments[e].values.size() != len) {
+            throw std::logic_error(
+                "sparse_allreduce: checkpoint image disagrees with live state");
+          }
+          pos += 2 + len;
+        }
+      });
+
   try {
   // Reduce phase (Fig 3a): leaf-to-root; the higher grid of each pair sends
   // its partial sums to the lower one and goes inactive.
@@ -104,6 +141,8 @@ void sparse_allreduce(Comm& zcomm, const NdTree& tree,
       const Message m = zcomm.recv(partner, kTagSparseReduce, cat);
       unpack_accumulate(shared, m.data);
     }
+    ckpt_level = l + 1;
+    zcomm.checkpoint_epoch(l);  // reduce-level boundary
   }
 
   // Broadcast phase (Fig 3b): root-to-leaf; lower grid sends completed sums
@@ -120,6 +159,8 @@ void sparse_allreduce(Comm& zcomm, const NdTree& tree,
     } else {
       zcomm.send(partner, kTagSparseBcast, pack(shared), cat);
     }
+    ckpt_level = 2 * levels - l;
+    zcomm.checkpoint_epoch(levels + (levels - 1 - l));  // bcast-level boundary
   }
   } catch (FaultError& fe) {
     rethrow_with_phase(fe, "sparse_allreduce");

@@ -47,11 +47,13 @@ LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_l
   // it are deferred to row completion.
   std::unordered_map<Idx, std::vector<Real>> ycache;  // key: supernode
   int expected = 0;
+  Idx my_diag = 0;  // diagonal solves this rank roots (epoch pacing)
 
   for (Idx rp = 0; rp < plan.num_rows(); ++rp) {
     const TreeView t = plan.l_reduce(rp);
     if (!t.contains(me)) continue;
     const Idx i = plan.rows()[static_cast<size_t>(rp)];
+    if (t.root() == me && plan.col_pos(i) != kNoIdx) ++my_diag;
     RowState st;
     st.lsum.assign(static_cast<size_t>(part.width(i)) * nrhs, 0.0);
     if (shape.owner_row(i) == myrow) {
@@ -166,11 +168,28 @@ LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_l
     process_y(cp, it->second);
   };
 
+  // Buddy-checkpoint hook: the solve state worth surviving a crash is the
+  // append-only y-fragment map plus the remaining-message cursor. Epochs cut
+  // at quarter marks of local diagonal-solve progress (the 2D solve has no
+  // level barriers to hang them on). No-op unless a crash model is active.
+  const CheckpointScope ckpt = grid.register_checkpoint(
+      "solve_l_2d",
+      [&] { return checkpoint_pack(result.y, static_cast<double>(expected)); },
+      [&](const CheckpointImage& img) {
+        checkpoint_verify(img, result.y, "solve_l_2d");
+      });
+  Idx next_mark = 1;
+
   auto drain = [&] {
     while (!ready_rows.empty()) {
       const Idx rp = ready_rows.back();
       ready_rows.pop_back();
       complete_row(rp);
+    }
+    while (next_mark < 4 && my_diag > 0 &&
+           static_cast<Idx>(result.y.size()) * 4 >= next_mark * my_diag) {
+      grid.checkpoint_epoch(next_mark);
+      ++next_mark;
     }
   };
 
@@ -237,11 +256,13 @@ USolve2dResult solve_u_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& y_l
   std::unordered_map<Idx, ColState> colstate;  // key: column position
   std::unordered_map<Idx, std::vector<Real>> xcache;  // key: supernode
   int expected = 0;
+  Idx my_diag = 0;  // diagonal solves this rank roots (epoch pacing)
 
   for (Idx cp = 0; cp < plan.num_cols(); ++cp) {
     const TreeView t = plan.u_reduce(cp);
     if (!t.contains(me)) continue;
     const Idx k = plan.cols()[static_cast<size_t>(cp)];
+    if (t.root() == me) ++my_diag;
     ColState st;
     st.usum.assign(static_cast<size_t>(part.width(k)) * nrhs, 0.0);
     if (shape.owner_row(k) == myrow) {
@@ -339,11 +360,26 @@ USolve2dResult solve_u_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& y_l
     process_x(plan.row_pos(k), it->second);
   };
 
+  // Buddy-checkpoint hook; mirrors the L-solve (append-only x fragments,
+  // quarter-mark epochs on local diagonal-solve progress).
+  const CheckpointScope ckpt = grid.register_checkpoint(
+      "solve_u_2d",
+      [&] { return checkpoint_pack(result.x, static_cast<double>(expected)); },
+      [&](const CheckpointImage& img) {
+        checkpoint_verify(img, result.x, "solve_u_2d");
+      });
+  Idx next_mark = 1;
+
   auto drain = [&] {
     while (!ready_cols.empty()) {
       const Idx cp = ready_cols.back();
       ready_cols.pop_back();
       complete_col(cp);
+    }
+    while (next_mark < 4 && my_diag > 0 &&
+           static_cast<Idx>(result.x.size()) * 4 >= next_mark * my_diag) {
+      grid.checkpoint_epoch(next_mark);
+      ++next_mark;
     }
   };
 

@@ -167,15 +167,42 @@ void run_proposed(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
   world.barrier();
   world.reset_clock();
 
+  // Phase-boundary buddy checkpoints: the y-fragment map is the state worth
+  // restoring between the three phases (inside a 2D solve the solve's own
+  // hook is innermost and takes over). The z-phase overwrites y values with
+  // completed sums, so restore validation is layout-only (see the lambda).
+  LSolve2dResult lres;
+  const CheckpointScope ckpt = world.register_checkpoint(
+      "sptrsv3d proposed",
+      [&] { return checkpoint_pack(lres.y, static_cast<double>(z)); },
+      [&](const CheckpointImage& img) {
+        // Values mutate after capture (z-phase accumulation), so only the
+        // shape is checked: every checkpointed fragment must still exist
+        // with its checkpointed length.
+        const std::vector<Real>& s = img.state;
+        const auto count = s.size() < 2 ? 0 : static_cast<std::size_t>(s[0]);
+        std::size_t pos = 2;
+        for (std::size_t e = 0; e < count; ++e) {
+          const auto k = static_cast<Idx>(s[pos]);
+          const auto len = static_cast<std::size_t>(s[pos + 1]);
+          const auto it = lres.y.find(k);
+          if (it == lres.y.end() || it->second.size() != len) {
+            throw std::logic_error(
+                "sptrsv3d proposed: checkpoint image disagrees with live state");
+          }
+          pos += 2 + len;
+        }
+      });
+
   // 2D L-solve of the whole L^z (replicated computation, no inter-grid
   // communication).
-  LSolve2dResult lres;
   try {
     const TraceSpan phase = world.annotate("phase:L", z);
     lres = solve_l_2d(grid, plan, b_local, {}, nrhs, tag_window(lu, 0));
   } catch (FaultError& fe) {
     rethrow_with_phase(fe, "sptrsv3d L-solve");
   }
+  world.checkpoint_epoch(0);  // L-phase boundary
   const CatSnapshot after_l = CatSnapshot::take(world);
 
   // The single inter-grid synchronization: sparse allreduce of the partial
@@ -217,6 +244,7 @@ void run_proposed(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
   } catch (FaultError& fe) {
     rethrow_with_phase(fe, "sptrsv3d z-reduction");
   }
+  world.checkpoint_epoch(1);  // Z-phase boundary
   const CatSnapshot after_z = CatSnapshot::take(world);
 
   // 2D U-solve of U^z, again with no inter-grid communication.
@@ -267,6 +295,19 @@ void run_baseline(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
   // inter-grid reduction of the replicated partial sums in between. ----
   VecMap lsum_store;  // partial sums of ancestors (diag positions I hold)
   VecMap y_store;     // solutions of nodes this grid solved
+
+  // Level-boundary buddy checkpoints: y_store is append-only (values never
+  // mutate after insertion), so restore validation is a bitwise subset
+  // check; the cursor records the last completed level so recovery replays
+  // from there rather than the phase start.
+  int ckpt_level = 0;
+  const CheckpointScope ckpt = world.register_checkpoint(
+      "sptrsv3d baseline",
+      [&] { return checkpoint_pack(y_store, static_cast<double>(ckpt_level)); },
+      [&](const CheckpointImage& img) {
+        checkpoint_verify(img, y_store, "sptrsv3d baseline");
+      });
+
   try {
   for (int s = 0; s <= levels; ++s) {
     const TraceSpan level_span = world.annotate("l_level", s);
@@ -313,6 +354,8 @@ void run_baseline(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
         accumulate_op(dst, v);
       }
     }
+    ckpt_level = s;
+    world.checkpoint_epoch(s);  // L-level boundary
   }
   } catch (FaultError& fe) {
     rethrow_with_phase(fe, "sptrsv3d baseline L-phase");
@@ -361,6 +404,8 @@ void run_baseline(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
                       replace_op);
       }
     }
+    ckpt_level = levels + (levels - s);
+    world.checkpoint_epoch(ckpt_level);  // U-level boundary
   }
   } catch (FaultError& fe) {
     rethrow_with_phase(fe, "sptrsv3d baseline U-phase");
@@ -437,8 +482,12 @@ DistSolveOutcome solve_sptrsv_3d(const SupernodalLU& lu, const NdTree& tree,
   ctx.x_out = &x;
   ctx.times = &times;
 
+  // try_run instead of run: recoverable crash schedules finish normally
+  // (recovery cost on the fault ledger only), while unrecoverable verdicts
+  // and transport failures surface as a structured FaultError carrying the
+  // rank/peer/tag/phase diagnostics instead of a bare error string.
   const Cluster::Result stats =
-      Cluster::run(shape.size(), machine, [&](Comm& world) {
+      Cluster::try_run(shape.size(), machine, [&](Comm& world) {
         const int z = shape.z_of(world.rank());
         const int grid_rank = shape.grid_rank_of(world.rank());
         Comm grid = world.split(/*color=*/z, /*key=*/grid_rank);
@@ -449,6 +498,10 @@ DistSolveOutcome solve_sptrsv_3d(const SupernodalLU& lu, const NdTree& tree,
           run_baseline(ctx, world, grid, zline, z);
         }
       }, cfg.run);
+  if (!stats.ok()) {
+    if (stats.fault.kind != FaultKind::kNone) throw FaultError(stats.fault);
+    throw std::runtime_error(stats.error);
+  }
 
   DistSolveOutcome out;
   out.x = std::move(x);

@@ -1,0 +1,87 @@
+#include "runtime/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+namespace sptrsv {
+
+namespace {
+
+/// Salt separating the crash-draw stream from the timing and delivery
+/// streams: enabling an MTBF crash model must not shift a jitter, skew or
+/// transport draw, or a crashed run would stop matching its crash-free twin.
+constexpr std::uint64_t kCrashStreamSalt = 0xC7A54C0DE5EEDULL;
+
+double crash_uniform(std::uint64_t seed, int rank, std::uint64_t* cseq) {
+  return detail::perturb_uniform(detail::hash64(seed ^ kCrashStreamSalt),
+                                 static_cast<std::uint64_t>(rank), (*cseq)++);
+}
+
+}  // namespace
+
+CrashPlan build_crash_plan(const PerturbationModel& pm, const RecoveryModel& rm,
+                           std::uint64_t seed, int nranks) {
+  CrashPlan plan;
+  plan.by_rank.resize(static_cast<std::size_t>(nranks));
+  for (const auto& c : pm.crashes) {
+    if (c.rank < 0 || c.rank >= nranks || !(c.vt >= 0.0)) continue;
+    plan.by_rank[static_cast<std::size_t>(c.rank)].push_back({c.vt, -1});
+  }
+  if (pm.crash_mtbf > 0.0) {
+    for (int r = 0; r < nranks; ++r) {
+      std::uint64_t cseq = 0;
+      double t = 0.0;
+      for (int k = 0; k < pm.crash_max_per_rank; ++k) {
+        // Exponential inter-failure gap; 1-u keeps the argument in (0, 1].
+        const double u = crash_uniform(seed, r, &cseq);
+        t += -pm.crash_mtbf * std::log(1.0 - u);
+        plan.by_rank[static_cast<std::size_t>(r)].push_back({t, -1});
+      }
+    }
+  }
+  for (auto& v : plan.by_rank) {
+    std::sort(v.begin(), v.end(),
+              [](const CrashEvent& a, const CrashEvent& b) { return a.vt < b.vt; });
+  }
+
+  // Verdicts, statically. The failure detector needs a full detection window
+  // (heartbeat_period * heartbeat_misses) to declare a rank dead and fetch
+  // its buddy's image; if the buddy dies inside that window of a crash, the
+  // checkpoint is gone and the crash is unrecoverable (kBuddyLoss). With a
+  // single rank the buddy ring degenerates to self-buddying: any crash loses
+  // its own checkpoint. Surviving crashes consume spares in global
+  // (vt, rank) order — deterministic in both scheduler modes — and overflow
+  // of the pool is kSparesExhausted.
+  const double window = rm.heartbeat_period * static_cast<double>(rm.heartbeat_misses);
+  std::vector<std::tuple<double, int, std::size_t>> order;  // (vt, rank, index)
+  for (int r = 0; r < nranks; ++r) {
+    const auto& events = plan.by_rank[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      order.emplace_back(events[i].vt, r, i);
+    }
+  }
+  std::sort(order.begin(), order.end());
+  int spares_used = 0;
+  for (const auto& [vt, r, i] : order) {
+    CrashEvent& ev = plan.by_rank[static_cast<std::size_t>(r)][i];
+    const int buddy = (r + 1) % nranks;
+    bool buddy_lost = (buddy == r);
+    for (const CrashEvent& be : plan.by_rank[static_cast<std::size_t>(buddy)]) {
+      if (std::abs(be.vt - vt) <= window) {
+        buddy_lost = true;
+        break;
+      }
+    }
+    if (buddy_lost) {
+      ev.verdict = FaultKind::kBuddyLoss;
+    } else if (spares_used >= rm.spare_ranks) {
+      ev.verdict = FaultKind::kSparesExhausted;
+    } else {
+      ev.spare = spares_used++;
+    }
+  }
+  return plan;
+}
+
+}  // namespace sptrsv

@@ -1,0 +1,232 @@
+#pragma once
+/// \file checkpoint.hpp
+/// \brief Crash-stop failure model: in-memory buddy checkpointing and the
+/// precomputed crash plan behind ULFM-style recovery (docs/ROBUSTNESS.md).
+///
+/// PR 3 made the runtime survive a lossy *network*; this layer makes it
+/// survive a lossy *membership*. A crash schedule (explicit rank/vt pairs or
+/// a Poisson MTBF stream) kills ranks mid-solve; the runtime detects the
+/// failure by missed virtual-clock heartbeats, repairs the communicator with
+/// ULFM-style revoke/shrink/agree sweeps, has a spare rank adopt the dead
+/// rank's identity, restores the victim's solve state from the in-memory
+/// checkpoint its buddy holds, and replays only the work since the last
+/// level-boundary epoch.
+///
+/// Two-ledger accounting extends to all of it: the crash is simulated
+/// analytically at the instant the victim's *clean* clock crosses the crash
+/// time, so the clean clock, counters, solution and trace stay bitwise
+/// fault-invariant, while detection latency, repair sweeps, checkpoint
+/// traffic, restore traffic and replayed compute land on the fault clock and
+/// the RecoveryStats ledger (Cluster::Result::recovery_stats).
+///
+/// Like every other fault source, crash draws come from a dedicated salted
+/// counter-RNG stream with its own per-rank counter, so enabling crashes
+/// never shifts a timing or delivery draw.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/perturbation.hpp"
+#include "runtime/reliable.hpp"
+#include "sparse/types.hpp"
+
+namespace sptrsv {
+
+/// Tuning of the failure detector, spare pool and recovery cost model
+/// (attached to MachineModel::recovery; consulted only while
+/// PerturbationModel::crash_active()).
+struct RecoveryModel {
+  /// Virtual-clock heartbeat period of the failure detector. A crash at
+  /// clean time t is detected at the first heartbeat slot
+  /// (floor(t / period) + misses) * period — the dead rank must miss
+  /// `heartbeat_misses` consecutive beats before it is declared failed.
+  double heartbeat_period = 100e-6;
+  int heartbeat_misses = 3;
+  /// Warm spare ranks available to adopt dead ranks' identities. Crashes are
+  /// matched to spares in global (crash time, rank) order; one more crash
+  /// than spares is unrecoverable (FaultKind::kSparesExhausted).
+  int spare_ranks = 2;
+  /// Per-epoch software cost of capturing + shipping one buddy checkpoint
+  /// (on top of the modeled wire time of the image).
+  double checkpoint_overhead = 1e-6;
+  /// Software cost of installing a fetched checkpoint image on the spare
+  /// (on top of the modeled wire time of the fetch).
+  double restore_overhead = 10e-6;
+  /// Replayed-compute multiplier: recovery re-executes the (crash time −
+  /// last epoch time) of lost progress scaled by this factor (1.0 = replay
+  /// at the original speed).
+  double replay_factor = 1.0;
+};
+
+/// Per-rank recovery-cost ledger — the crash-stop half of the fault ledger.
+/// All fields are 8-byte scalars so RankStats stays padding-free (tests
+/// memcmp it). All zero when no crash model is configured.
+struct RecoveryStats {
+  std::int64_t crashes = 0;          ///< crash events processed at this rank
+  std::int64_t checkpoints = 0;      ///< buddy checkpoint epochs captured
+  std::int64_t checkpoint_bytes = 0; ///< bytes shipped to the buddy
+  std::int64_t restores = 0;         ///< checkpoint images restored
+  std::int64_t spares_used = 0;      ///< spare adoptions consumed by this rank
+  double detect_time = 0.0;          ///< heartbeat detection latency absorbed
+  double repair_time = 0.0;          ///< revoke/shrink/agree sweep time
+  double restore_time = 0.0;         ///< buddy fetch + install time
+  double replay_time = 0.0;          ///< recomputed progress since last epoch
+  double checkpoint_time = 0.0;      ///< epoch capture + shipment time
+
+  RecoveryStats& operator+=(const RecoveryStats& o) {
+    crashes += o.crashes;
+    checkpoints += o.checkpoints;
+    checkpoint_bytes += o.checkpoint_bytes;
+    restores += o.restores;
+    spares_used += o.spares_used;
+    detect_time += o.detect_time;
+    repair_time += o.repair_time;
+    restore_time += o.restore_time;
+    replay_time += o.replay_time;
+    checkpoint_time += o.checkpoint_time;
+    return *this;
+  }
+  bool any() const { return crashes != 0 || checkpoints != 0; }
+};
+
+/// One captured solve-state image, conceptually resident at the owner's
+/// buddy. `state` is the hook's serialized solve state (fragment values,
+/// progress cursors); `checksum` is verified before any restore.
+struct CheckpointImage {
+  std::int64_t epoch = -1;   ///< monotone per-owner epoch counter
+  double vt = 0.0;           ///< owner's clean clock at capture
+  const char* label = "";    ///< registering hook's label (string literal)
+  std::uint64_t checksum = 0;
+  std::vector<Real> state;
+};
+
+/// In-memory buddy checkpoint store: one latest-image slot per owner rank,
+/// conceptually stored at buddy_of(owner) = (owner + 1) mod P (a ring, so
+/// every rank buddies exactly one other). Each owner thread is the sole
+/// writer and reader of its own slot, so slots need no locking; the buddy
+/// placement is a cost/feasibility model (shipment and fetch are charged to
+/// the fault ledger, and a buddy that dies inside the owner's detection
+/// window makes the owner's crash unrecoverable), not a data-movement one.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(int nranks)
+      : nranks_(nranks), slots_(static_cast<std::size_t>(nranks)) {}
+
+  int buddy_of(int rank) const { return (rank + 1) % nranks_; }
+
+  /// Installs `img` as the owner's latest image (previous epoch discarded —
+  /// recovery only ever replays from the most recent complete epoch).
+  void save(int owner, CheckpointImage img) {
+    slots_[static_cast<std::size_t>(owner)] = std::move(img);
+  }
+
+  /// Latest image for `owner`, or nullptr if no epoch completed yet.
+  const CheckpointImage* latest(int owner) const {
+    const CheckpointImage& img = slots_[static_cast<std::size_t>(owner)];
+    return img.epoch >= 0 ? &img : nullptr;
+  }
+
+  /// Drops the owner's image (reset_clock: pre-solve epochs must not leak a
+  /// stale clock into post-reset replay arithmetic).
+  void clear(int owner) { slots_[static_cast<std::size_t>(owner)] = CheckpointImage{}; }
+
+ private:
+  int nranks_;
+  std::vector<CheckpointImage> slots_;
+};
+
+/// One planned crash of a rank, with its recovery verdict precomputed from
+/// the static schedule (so both scheduler modes agree on it bit for bit).
+struct CrashEvent {
+  double vt = 0.0;   ///< clean virtual time the rank dies at
+  int spare = -1;    ///< spare slot adopting the identity (-1: unrecoverable)
+  /// kNone = recoverable; kBuddyLoss = the buddy died inside this crash's
+  /// detection window (the checkpoint died with it); kSparesExhausted = the
+  /// spare pool was already consumed by earlier crashes.
+  FaultKind verdict = FaultKind::kNone;
+};
+
+/// The full schedule: per-rank crash events sorted by virtual time. A pure
+/// function of (PerturbationModel, RecoveryModel, seed, nranks) — no
+/// wall-clock state — so a failing schedule replays exactly.
+struct CrashPlan {
+  std::vector<std::vector<CrashEvent>> by_rank;
+  bool any() const {
+    for (const auto& v : by_rank) {
+      if (!v.empty()) return true;
+    }
+    return false;
+  }
+};
+
+/// Deterministic serialization of an (index -> value-vector) map plus a
+/// progress cursor — the common shape of solver checkpoint state (x/y
+/// fragments keyed by supernode, partial sums keyed by node). Keys are
+/// visited in sorted order so two captures of equal state are bitwise equal
+/// regardless of hash-map iteration order. Layout:
+///   [entry count, cursor, (key, length, values...)*]
+/// Idx keys and lengths are stored as Real — exact for anything below 2^53.
+template <class Map>
+std::vector<Real> checkpoint_pack(const Map& m, double cursor) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(m.size());
+  for (const auto& kv : m) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  std::vector<Real> out;
+  out.push_back(static_cast<Real>(keys.size()));
+  out.push_back(cursor);
+  for (const auto k : keys) {
+    const auto& v = m.at(k);
+    out.push_back(static_cast<Real>(k));
+    out.push_back(static_cast<Real>(v.size()));
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+/// Restore-side validation for checkpoint_pack images. In the analytic crash
+/// model the victim's live state already sits at the crash point, so a
+/// correct image — captured at an earlier epoch of append-only solve state —
+/// must be a bitwise *subset* of the live map: every entry present, every
+/// value bit-identical. A mismatch means the checkpoint layer corrupted
+/// state, which is a bug (std::logic_error), not a modeled fault.
+template <class Map>
+void checkpoint_verify(const CheckpointImage& img, const Map& live,
+                       const char* who) {
+  const auto fail = [who] {
+    throw std::logic_error(std::string(who) +
+                           ": checkpoint image disagrees with live solve state");
+  };
+  const std::vector<Real>& s = img.state;
+  if (s.size() < 2) fail();
+  const std::size_t count = static_cast<std::size_t>(s[0]);
+  std::size_t pos = 2;
+  for (std::size_t e = 0; e < count; ++e) {
+    if (pos + 2 > s.size()) fail();
+    const auto key = static_cast<typename Map::key_type>(s[pos]);
+    const std::size_t len = static_cast<std::size_t>(s[pos + 1]);
+    pos += 2;
+    if (pos + len > s.size()) fail();
+    const auto it = live.find(key);
+    if (it == live.end() || it->second.size() != len) fail();
+    for (std::size_t i = 0; i < len; ++i) {
+      if (!(std::memcmp(&it->second[i], &s[pos + i], sizeof(Real)) == 0)) fail();
+    }
+    pos += len;
+  }
+}
+
+/// Builds the crash plan: explicit PerturbationModel::crashes entries plus,
+/// when crash_mtbf > 0, per-rank Poisson arrivals (exponential inter-failure
+/// times drawn from the salted crash stream, capped at crash_max_per_rank).
+/// Verdicts are assigned here, statically: buddy-pair losses first (both
+/// events inside one detection window are unrecoverable), then spares in
+/// global (vt, rank) order until the pool runs dry.
+CrashPlan build_crash_plan(const PerturbationModel& pm, const RecoveryModel& rm,
+                           std::uint64_t seed, int nranks);
+
+}  // namespace sptrsv

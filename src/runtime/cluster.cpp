@@ -7,6 +7,7 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <exception>
 #include <limits>
@@ -112,6 +113,32 @@ struct RankCtx {
                                  ///< by reset_clock — seq stays unique)
   std::uint64_t trace_epoch = 0; ///< bumped by reset_clock; guards TraceSpan
 
+  // --- crash-stop recovery (docs/ROBUSTNESS.md) ---
+  const MachineModel* mach = nullptr;  ///< owning cluster's machine model
+  /// This rank's slice of the crash plan (null = no crash model configured).
+  const std::vector<CrashEvent>* crash_events = nullptr;
+  std::size_t crash_idx = 0;     ///< next unfired crash event (re-armed by
+                                 ///< reset_clock: crash times are interpreted
+                                 ///< on the post-reset clock)
+  /// Monotone sum of every crash delay charged to fvt. The recv/collective
+  /// fault-clock rewrites capture a before/after delta of this to re-apply a
+  /// delay that landed *inside* their own advance (the rewrite would
+  /// otherwise overwrite it); comparing for inequality keeps the no-crash
+  /// arithmetic bitwise untouched.
+  double crash_total = 0.0;
+  RecoveryStats rstats;          ///< crash-recovery ledger (fault side)
+  CheckpointStore* ckpt = nullptr;       ///< buddy store (null = crash model off)
+  double ulfm_sweep = 0.0;       ///< one modeled revoke/shrink/agree tree sweep
+  std::int64_t ckpt_epoch_counter = 0;
+  /// Checkpoint hook stack (innermost = back). capture serializes the
+  /// replayable solve state; restore verifies a fetched image against it.
+  struct CheckpointHook {
+    const char* label;
+    std::function<std::vector<Real>()> capture;
+    std::function<void(const CheckpointImage&)> restore;
+  };
+  std::vector<CheckpointHook> hooks;
+
   /// Advances both clocks in lockstep (identical arithmetic keeps fvt
   /// bitwise equal to vt while no faults intervene); receive/collective
   /// sites then rewrite fvt with the mirrored fault-arrival expression.
@@ -119,6 +146,10 @@ struct RankCtx {
     vt += seconds;
     fvt += seconds;
     category[static_cast<int>(cat)] += seconds;
+    if (crash_events != nullptr && crash_idx < crash_events->size() &&
+        vt >= (*crash_events)[crash_idx].vt) {
+      process_crash();
+    }
     if (vt > vt_limit) {
       FaultReport r;
       r.kind = FaultKind::kVtLimit;
@@ -126,6 +157,81 @@ struct RankCtx {
       r.vt = vt;
       r.detail = "virtual clock passed RunOptions::vt_limit";
       throw FaultError(std::move(r));
+    }
+  }
+
+  /// Fires every crash event the clean clock just crossed: simulated
+  /// analytically at the crossing instant — the victim thread *is* the spare
+  /// that adopts its identity (the clean clock, counters and solve state are
+  /// exactly what the restored spare would recompute bit for bit), so only
+  /// the recovery delay (heartbeat detection, ULFM repair sweeps, buddy
+  /// restore, replay since the last epoch) needs modeling, and it lands on
+  /// the fault clock and RecoveryStats. Unrecoverable verdicts (buddy-pair
+  /// loss, spare-pool exhaustion) throw a structured FaultError instead.
+  void process_crash() {
+    while (crash_idx < crash_events->size() &&
+           vt >= (*crash_events)[crash_idx].vt) {
+      const CrashEvent ev = (*crash_events)[crash_idx++];
+      rstats.crashes += 1;
+      const int buddy = ckpt->buddy_of(grank);
+      if (ev.verdict != FaultKind::kNone) {
+        FaultReport r;
+        r.kind = ev.verdict;
+        r.rank = grank;
+        r.peer = buddy;
+        r.vt = ev.vt;
+        r.detail = ev.verdict == FaultKind::kBuddyLoss
+                       ? "rank and its checkpoint buddy died inside one "
+                         "detection window; no image survives to restore from"
+                       : "crash outlived the spare-rank pool; no identity "
+                         "left to adopt";
+        throw FaultError(std::move(r));
+      }
+      const RecoveryModel& rm = mach->recovery;
+      const double t = ev.vt;
+      // Heartbeat detection: the rank is declared dead `misses` beats after
+      // the last heartbeat it answered (the beat grid is absolute).
+      const double detect =
+          (std::floor(t / rm.heartbeat_period) +
+           static_cast<double>(rm.heartbeat_misses)) * rm.heartbeat_period - t;
+      // ULFM repair: revoke, shrink and two agreement sweeps among the
+      // survivors, each a logarithmic tree round.
+      const double repair = 4.0 * ulfm_sweep;
+      double restore = 0.0;
+      double replay = t * rm.replay_factor;  // no epoch yet: replay from start
+      const CheckpointImage* img = ckpt->latest(grank);
+      if (img != nullptr) {
+        if (payload_checksum(img->state) != img->checksum) {
+          throw std::logic_error("buddy checkpoint: image fails its checksum");
+        }
+        const double bytes = static_cast<double>(img->state.size()) * sizeof(Real);
+        restore = rm.restore_overhead + mach->net.latency +
+                  bytes / mach->net.bandwidth;
+        replay = (t - img->vt) * rm.replay_factor;
+        // The innermost hook whose label matches the image verifies it
+        // against the live state (a mismatch is a checkpoint bug, not a
+        // modeled fault — it throws logic_error). No matching hook (the
+        // capturing scope already closed) still counts as a restore.
+        for (auto it = hooks.rbegin(); it != hooks.rend(); ++it) {
+          if (std::strcmp(it->label, img->label) == 0) {
+            it->restore(*img);
+            break;
+          }
+        }
+        rstats.restores += 1;
+      }
+      rstats.spares_used += 1;
+      rstats.detect_time += detect;
+      rstats.repair_time += repair;
+      rstats.restore_time += restore;
+      rstats.replay_time += replay;
+      const double delay = detect + repair + restore + replay;
+      fvt += delay;
+      crash_total += delay;
+      if (tracing) {
+        trace.marks.push_back({"crash", t, static_cast<std::int64_t>(ev.spare)});
+        trace.marks.push_back({"restore", t + delay, img ? img->epoch : -1});
+      }
     }
   }
 
@@ -328,11 +434,28 @@ class ClusterState {
           [this](int witness) { record_fault(build_deadlock_report(witness)); });
     }
     const bool skewed = machine_.perturb.compute_skew > 0.0;
+    const bool crashing = machine_.perturb.crash_active();
+    if (crashing) {
+      // The whole crash schedule — times and recovery verdicts — is fixed
+      // here, before any thread runs, so both scheduler modes process the
+      // exact same events in the exact same order.
+      crash_plan_ = build_crash_plan(machine_.perturb, machine_.recovery,
+                                     opts_.seed, nranks);
+      ckpt_ = std::make_unique<CheckpointStore>(nranks);
+    }
+    const double sweep = 2.0 * log2_ceil(nranks) *
+                         (machine_.net.latency + machine_.mpi_overhead);
     for (int r = 0; r < nranks; ++r) {
       RankCtx& ctx = ranks_[static_cast<size_t>(r)];
       ctx.grank = r;
       ctx.tracing = opts_.trace;
       ctx.vt_limit = opts_.vt_limit;
+      ctx.mach = &machine_;
+      if (crashing) {
+        ctx.crash_events = &crash_plan_.by_rank[static_cast<size_t>(r)];
+        ctx.ckpt = ckpt_.get();
+        ctx.ulfm_sweep = sweep;
+      }
       if (skewed) {
         ctx.skew = 1.0 + machine_.perturb.compute_skew *
                              perturb_uniform(opts_.seed, static_cast<std::uint64_t>(r),
@@ -434,15 +557,32 @@ class ClusterState {
     return r;
   }
 
+  /// Positive in-flight evidence for the free-running watchdog: true if any
+  /// *other* rank's published recv wait is already satisfiable by an
+  /// envelope queued in its mailbox, or any communicator holds a finalized
+  /// collective a member has not consumed yet — i.e. a wakeup was delivered
+  /// but its target thread has not run (e.g. starved by a loaded machine).
+  /// Declaring a deadlock then would misdiagnose scheduling latency as a
+  /// hang, so the watchdog treats it as progress. Declared here, defined
+  /// after CommGroup; `held_ctx` names the communicator whose mutex the
+  /// caller holds (a collective wait) so the scan skips it — every other
+  /// lock is only try_lock'd, and a failed try_lock is itself activity.
+  bool pending_wakeup(int skip_rank, std::uint64_t held_ctx);
+
   /// Free-running-mode blocking wait with deadlock detection: parks on `cv`
-  /// until `pred` holds. After every live rank has sat parked with the
-  /// progress counter frozen for the whole patience window, re-checks
-  /// `pred` one last time and declares a deadlock: records a FaultReport,
+  /// until `pred` holds. A deadlock is declared only on positive evidence of
+  /// global quiescence: every live rank parked, the progress counter frozen
+  /// for the whole patience window, *and* no in-flight wakeup pending
+  /// (pending_wakeup) — elapsed quiet time alone never fires, so a rank
+  /// descheduled mid-compute on a loaded machine is not misdiagnosed. Then
+  /// re-checks `pred` one last time and declares: records a FaultReport,
   /// aborts the cluster and throws FaultError. Throws ClusterAborted if
-  /// woken by another rank's abort. `lk` guards `pred`'s state.
+  /// woken by another rank's abort. `lk` guards `pred`'s state; `held_ctx`
+  /// is the communicator context whose mutex `lk` holds (0 for a mailbox
+  /// wait).
   template <class Pred>
   void blocking_wait(std::unique_lock<std::mutex>& lk, std::condition_variable& cv,
-                     int grank, Pred pred) {
+                     int grank, Pred pred, std::uint64_t held_ctx = 0) {
     if (!opts_.watchdog) {
       cv.wait(lk, [&] { return pred() || aborted(); });
       if (!pred()) throw ClusterAborted();
@@ -472,6 +612,10 @@ class ClusterState {
         quiet = 0;  // someone is still computing — not a deadlock
         continue;
       }
+      if (pending_wakeup(grank, held_ctx)) {
+        quiet = 0;  // a delivered wakeup is still in flight — not a deadlock
+        continue;
+      }
       if (pred() || aborted()) break;
       FaultReport r = build_deadlock_report(grank);
       lk.unlock();
@@ -497,6 +641,8 @@ class ClusterState {
   FaultReport fault_;
   std::mutex groups_mu_;
   std::vector<std::weak_ptr<CommGroup>> groups_;
+  CrashPlan crash_plan_;                  // empty unless perturb.crash_active()
+  std::unique_ptr<CheckpointStore> ckpt_; // null unless perturb.crash_active()
 };
 
 /// One communicator: a context id plus the member global ranks. Also hosts
@@ -511,13 +657,36 @@ class CommGroup : public std::enable_shared_from_this<CommGroup> {
   int size() const { return static_cast<int>(globals_.size()); }
   int global_rank(int r) const { return globals_[static_cast<size_t>(r)]; }
 
+  // --- ULFM revocation (docs/ROBUSTNESS.md) ---
+  bool revoked() const { return revoked_.load(std::memory_order_acquire); }
+  void set_revoked() { revoked_.store(true, std::memory_order_release); }
+
+  /// Structured failure for an operation attempted on a revoked
+  /// communicator (every member observes the same kind; detail names the
+  /// context id so reports from different comms are distinguishable).
+  [[noreturn]] void throw_revoked(int grank, double vt) const {
+    FaultReport r;
+    r.kind = FaultKind::kRevoked;
+    r.rank = grank;
+    r.vt = vt;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "communicator ctx=%llu was revoked",
+                  static_cast<unsigned long long>(ctx_));
+    r.detail = buf;
+    throw FaultError(std::move(r));
+  }
+
   /// State of one in-flight collective operation.
   struct CollSlot {
     int arrived = 0;
     int consumed = 0;
+    /// Arrivals that complete the operation. Normally size(); shrink() and
+    /// other survivor-only collectives lower it (dead ranks cannot arrive).
+    int expected = 0;
     bool ready = false;
     double max_vt = 0.0;
     double max_fvt = 0.0;  ///< fault-clock sync point (barrier/allreduce_sum)
+    std::int64_t agree_and = ~std::int64_t{0};      // agree() running AND
     std::vector<std::vector<Real>> contribs;        // allreduce inputs (by rank)
     std::vector<Real> reduce;                       // allreduce result
     std::vector<std::pair<int, int>> color_key;     // split inputs (by rank)
@@ -529,16 +698,25 @@ class CommGroup : public std::enable_shared_from_this<CommGroup> {
   /// the slot; the last arriver runs `finalize`; everyone then reads via
   /// `extract` after `ready`. All callbacks run under the group mutex.
   /// `grank`/`vt` identify the caller to the deterministic scheduler.
+  /// `tolerate_revoked` lets ULFM repair collectives (agree/shrink) proceed
+  /// on a revoked communicator; everything else fails with kRevoked.
+  /// `expected` overrides the arrival count that completes the operation
+  /// (-1 = all members) for survivor-only collectives.
   template <class Deposit, class Finalize, class Extract>
   auto collective(std::int64_t gen, int grank, double vt, Deposit deposit,
-                  Finalize finalize, Extract extract) {
+                  Finalize finalize, Extract extract,
+                  bool tolerate_revoked = false, int expected = -1) {
+    if (expected < 0) expected = size();
+    if (!tolerate_revoked && revoked()) throw_revoked(grank, vt);
     if (Scheduler* sched = cluster_->sched()) {
-      return collective_det(sched, gen, grank, vt, deposit, finalize, extract);
+      return collective_det(sched, gen, grank, vt, deposit, finalize, extract,
+                            tolerate_revoked, expected);
     }
     std::unique_lock<std::mutex> lk(mu_);
     CollSlot& slot = slots_[gen];
+    if (slot.expected == 0) slot.expected = expected;
     deposit(slot);
-    if (++slot.arrived == size()) {
+    if (++slot.arrived == slot.expected) {
       finalize(slot);
       slot.ready = true;
       cluster_->bump_progress();
@@ -546,16 +724,36 @@ class CommGroup : public std::enable_shared_from_this<CommGroup> {
     } else {
       WaitScope ws(cluster_->rank(grank).wait, /*collective*/ 2,
                    static_cast<int>(gen), 0, 0, ctx_);
-      cluster_->blocking_wait(lk, cv_, grank, [&] { return slot.ready; });
+      cluster_->blocking_wait(
+          lk, cv_, grank,
+          [&] { return slot.ready || (!tolerate_revoked && revoked()); }, ctx_);
+      if (!slot.ready) {
+        lk.unlock();
+        throw_revoked(grank, vt);
+      }
     }
     auto result = extract(slot);
-    if (++slot.consumed == size()) slots_.erase(gen);
+    if (++slot.consumed == slot.expected) slots_.erase(gen);
     return result;
   }
 
   void wake_all() {
     std::lock_guard<std::mutex> lk(mu_);  // lock so no waiter misses the flag
     cv_.notify_all();
+  }
+
+  /// Watchdog scan (ClusterState::pending_wakeup): a finalized collective
+  /// not yet consumed by every expected member means a member was woken but
+  /// has not run — in-flight progress, not quiescence. try_lock only: a
+  /// contended mutex is itself evidence of activity, and never deadlocks
+  /// against whatever the caller holds.
+  bool pending_collective_wakeup() {
+    std::unique_lock<std::mutex> lk(mu_, std::try_to_lock);
+    if (!lk.owns_lock()) return true;
+    for (const auto& [gen, slot] : slots_) {
+      if (slot.ready && slot.consumed < slot.expected) return true;
+    }
+    return false;
   }
 
  private:
@@ -565,13 +763,15 @@ class CommGroup : public std::enable_shared_from_this<CommGroup> {
   /// variable, and the finalizer wakes the parked members.
   template <class Deposit, class Finalize, class Extract>
   auto collective_det(Scheduler* sched, std::int64_t gen, int grank, double vt,
-                      Deposit deposit, Finalize finalize, Extract extract) {
+                      Deposit deposit, Finalize finalize, Extract extract,
+                      bool tolerate_revoked, int expected) {
     bool finalized_here = false;
     {
       std::lock_guard<std::mutex> lk(mu_);
       CollSlot& slot = slots_[gen];
+      if (slot.expected == 0) slot.expected = expected;
       deposit(slot);
-      if (++slot.arrived == size()) {
+      if (++slot.arrived == slot.expected) {
         finalize(slot);
         slot.ready = true;
         finalized_here = true;
@@ -590,6 +790,7 @@ class CommGroup : public std::enable_shared_from_this<CommGroup> {
           std::lock_guard<std::mutex> lk(mu_);
           if (slots_[gen].ready) break;
         }
+        if (!tolerate_revoked && revoked()) throw_revoked(grank, vt);
         if (cluster_->aborted()) throw ClusterAborted();
         sched->block(grank, vt);  // a stray message wake rechecks and re-parks
       }
@@ -597,17 +798,62 @@ class CommGroup : public std::enable_shared_from_this<CommGroup> {
     std::lock_guard<std::mutex> lk(mu_);
     CollSlot& slot = slots_[gen];
     auto result = extract(slot);
-    if (++slot.consumed == size()) slots_.erase(gen);
+    if (++slot.consumed == slot.expected) slots_.erase(gen);
     return result;
   }
 
   ClusterState* cluster_;
   std::uint64_t ctx_;
   std::vector<int> globals_;
+  std::atomic<bool> revoked_{false};
   std::mutex mu_;
   std::condition_variable cv_;
   std::map<std::int64_t, CollSlot> slots_;
 };
+
+bool ClusterState::pending_wakeup(int skip_rank, std::uint64_t held_ctx) {
+  // A queued envelope already matching some parked rank's published recv
+  // wait: the receiver was notified but its thread has not run yet.
+  // `skip_rank` is the caller — in a recv wait it holds its own mailbox
+  // mutex (try_lock on an owned std::mutex is undefined), and its own pred
+  // is re-checked separately anyway.
+  for (size_t i = 0; i < ranks_.size(); ++i) {
+    if (static_cast<int>(i) == skip_rank) continue;
+    RankCtx& rc = ranks_[i];
+    if (rc.wait.kind.load(std::memory_order_acquire) != 1) continue;
+    const int src = rc.wait.a.load(std::memory_order_relaxed);
+    const int lo = rc.wait.b.load(std::memory_order_relaxed);
+    const int hi = rc.wait.c.load(std::memory_order_relaxed);
+    const std::uint64_t wctx = rc.wait.ctx.load(std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lk(rc.mailbox.mu, std::try_to_lock);
+    if (!lk.owns_lock()) return true;  // the owner or a sender is active now
+    for (const auto& e : rc.mailbox.q) {
+      // Envelope src and the published wait are both comm-local, compared
+      // under the same communicator context.
+      if (e.ctx == wctx && (src == kAnySource || e.msg.src == src) &&
+          (lo >= hi || (e.msg.tag >= lo && e.msg.tag < hi))) {
+        return true;
+      }
+    }
+  }
+  // A finalized-but-unconsumed collective: a member was woken to extract
+  // but has not run yet. Snapshot under groups_mu_, scan after releasing it
+  // (same discipline as abort()); skip the group whose mutex the caller
+  // holds during its own collective wait.
+  std::vector<std::shared_ptr<CommGroup>> live;
+  {
+    std::lock_guard<std::mutex> lk(groups_mu_);
+    live.reserve(groups_.size());
+    for (auto& wg : groups_) {
+      if (auto g = wg.lock()) live.push_back(std::move(g));
+    }
+  }
+  for (auto& g : live) {
+    if (g->ctx() == held_ctx) continue;
+    if (g->pending_collective_wakeup()) return true;
+  }
+  return false;
+}
 
 void ClusterState::abort() {
   aborted_.store(true, std::memory_order_release);
@@ -657,12 +903,25 @@ void Comm::reset_clock() {
   for (auto& b : ctx_->bytes) b = 0;
   // fseq (like send_seq below) and seen_seqs survive: fault draws must not
   // collide across phases and accepted sequence numbers stay unique.
+  // Crash-stop recovery re-arms with the clock: crash times are interpreted
+  // on the post-reset clock (= relative to solve start when the solver
+  // resets after its setup barrier), the recovery ledger restarts, and
+  // pre-reset checkpoint images are dropped so replay arithmetic never
+  // mixes clocks. A schedule entry smaller than the setup time fires once
+  // pre-reset too — benign: its ledger entries are discarded here and it
+  // re-fires on the fresh clock.
+  ctx_->rstats = RecoveryStats{};
+  ctx_->crash_idx = 0;
+  ctx_->crash_total = 0.0;
+  ctx_->ckpt_epoch_counter = 0;
+  if (ctx_->ckpt != nullptr) ctx_->ckpt->clear(ctx_->grank);
   // Setup-phase events would break the fresh clock's contiguity; drop them.
   // send_seq is deliberately NOT reset: a pre-reset send could otherwise
   // alias a post-reset one under the same (rank, seq) matching key.
   if (ctx_->tracing) {
     ctx_->trace.events.clear();
     ctx_->trace.spans.clear();
+    ctx_->trace.marks.clear();
     ++ctx_->trace_epoch;
   }
 }
@@ -712,6 +971,7 @@ void Comm::send(int dst, int tag, std::vector<Real> data, TimeCategory cat) {
 void Comm::send_link(int dst, int tag, std::vector<Real> data, const LinkParams& link,
                      double overhead, TimeCategory cat) {
   if (dst < 0 || dst >= size()) throw std::out_of_range("Comm::send: bad destination");
+  if (group_->revoked()) group_->throw_revoked(ctx_->grank, ctx_->vt);
   detail::ClusterState* cluster = group_->cluster();
   const double t0 = ctx_->vt;
   ctx_->advance(overhead, cat);
@@ -892,15 +1152,19 @@ Message Comm::recv_range(int src, int tag_lo, int tag_hi, TimeCategory cat) {
     }
     const double t0 = ctx_->vt;
     const double ft0 = ctx_->fvt;
+    const double c0 = ctx_->crash_total;
     // One advance covers wait-until-arrival plus software overhead, so the
     // clock math is bit-identical with tracing on or off; the trace splits
     // wait from commit analytically via the recorded arrival.
     ctx_->advance(std::max(0.0, msg.arrival - t0) + machine().mpi_overhead, cat);
     // Rewrite the fault clock with the mirrored expression against the
     // fault arrival: same ops, same order, so fvt == vt bitwise until a
-    // fault actually adds delay.
+    // fault actually adds delay. A crash that fired inside the advance above
+    // put its delay on fvt too — re-apply it after the rewrite (the
+    // inequality guard keeps the no-crash arithmetic bitwise untouched).
     ctx_->fvt = ft0;
     ctx_->fvt += std::max(0.0, fa - ft0) + machine().mpi_overhead;
+    if (ctx_->crash_total != c0) ctx_->fvt += ctx_->crash_total - c0;
     if (ctx_->tracing) {
       TraceEvent e;
       e.kind = TraceEventKind::kRecv;
@@ -928,6 +1192,7 @@ Message Comm::recv_range(int src, int tag_lo, int tag_hi, TimeCategory cat) {
     // execute (and send) below the commit time — the wildcard choice is
     // the globally earliest arrival any runnable rank can produce.
     for (;;) {
+      if (group_->revoked()) group_->throw_revoked(ctx_->grank, ctx_->vt);
       if (group_->cluster()->aborted()) throw detail::ClusterAborted();
       std::unique_lock<std::mutex> lk(box.mu);
       auto best = scan();
@@ -946,12 +1211,18 @@ Message Comm::recv_range(int src, int tag_lo, int tag_hi, TimeCategory cat) {
     }
   }
 
+  if (group_->revoked()) group_->throw_revoked(ctx_->grank, ctx_->vt);
   std::unique_lock<std::mutex> lk(box.mu);
   std::deque<detail::Envelope>::iterator best = box.q.end();
   group_->cluster()->blocking_wait(lk, box.cv, ctx_->grank, [&] {
+    if (group_->revoked()) return true;
     best = scan();
     return best != box.q.end();
   });
+  if (best == box.q.end()) {
+    lk.unlock();
+    group_->throw_revoked(ctx_->grank, ctx_->vt);
+  }
   return take(best);
 }
 
@@ -988,6 +1259,7 @@ void Comm::barrier(TimeCategory cat) {
   const std::int64_t gen = coll_gen_++;
   const double my_vt = ctx_->vt;
   const double my_fvt = ctx_->fvt;
+  const double c0 = ctx_->crash_total;
   const auto sync = group_->collective(
       gen, ctx_->grank, my_vt,
       [&](auto& slot) {
@@ -999,9 +1271,11 @@ void Comm::barrier(TimeCategory cat) {
   const double sync_vt = sync.first;
   ctx_->advance(std::max(0.0, sync_vt - my_vt) + cost, cat);
   // Mirrored fault-clock sync (same expression shape; bitwise-equal while
-  // the run is fault-free).
+  // the run is fault-free). A crash fired inside the advance re-applies its
+  // delay after the rewrite.
   ctx_->fvt = my_fvt;
   ctx_->fvt += std::max(0.0, sync.second - my_fvt) + cost;
+  if (ctx_->crash_total != c0) ctx_->fvt += ctx_->crash_total - c0;
   ctx_->messages[static_cast<int>(cat)] += tree_msgs;
   if (ctx_->tracing) {
     TraceEvent e;
@@ -1028,6 +1302,7 @@ std::vector<Real> Comm::allreduce_sum(std::span<const Real> v, TimeCategory cat)
   const std::int64_t gen = coll_gen_++;
   const double my_vt = ctx_->vt;
   const double my_fvt = ctx_->fvt;
+  const double c0 = ctx_->crash_total;
   const int nmembers = size();
   auto result = group_->collective(
       gen, ctx_->grank, my_vt,
@@ -1058,6 +1333,7 @@ std::vector<Real> Comm::allreduce_sum(std::span<const Real> v, TimeCategory cat)
   ctx_->advance(std::max(0.0, std::get<1>(result) - ctx_->vt) + cost, cat);
   ctx_->fvt = my_fvt;
   ctx_->fvt += std::max(0.0, std::get<2>(result) - my_fvt) + cost;
+  if (ctx_->crash_total != c0) ctx_->fvt += ctx_->crash_total - c0;
   const std::int64_t payload = static_cast<std::int64_t>(v.size() * sizeof(Real));
   ctx_->messages[static_cast<int>(cat)] += tree_msgs;
   ctx_->bytes[static_cast<int>(cat)] += tree_msgs * payload;
@@ -1126,6 +1402,198 @@ Comm Comm::split(int color, int key) {
             slot.split_rank[static_cast<size_t>(rank_)]);
       });
   return Comm(std::move(result.first), result.second, ctx_);
+}
+
+void Comm::revoke(TimeCategory cat) {
+  detail::ClusterState* cluster = group_->cluster();
+  // One-sided asynchronous notification: costs the revoker one software
+  // overhead, synchronizes nothing.
+  ctx_->advance_traced(machine().mpi_overhead, cat, TraceEventKind::kAdvance);
+  group_->set_revoked();
+  cluster->bump_progress();
+  // Wake every member parked on this communicator (mailbox recv waits,
+  // collective waits, scheduler blocks) so pending operations fail now
+  // rather than at their next natural wakeup.
+  for (int r = 0; r < group_->size(); ++r) {
+    const int g = group_->global_rank(r);
+    if (g == ctx_->grank) continue;
+    detail::Mailbox& box = cluster->rank(g).mailbox;
+    {
+      std::lock_guard<std::mutex> lk(box.mu);  // no waiter may miss the flag
+      box.cv.notify_all();
+    }
+    if (detail::Scheduler* sched = cluster->sched()) sched->wake(g);
+  }
+  group_->wake_all();
+}
+
+bool Comm::revoked() const { return group_->revoked(); }
+
+std::int64_t Comm::agree(std::int64_t value, TimeCategory cat) {
+  // Two synchronizing tree sweeps (a reduce and a confirmation round —
+  // ULFM agreement is roughly two barriers' worth of traffic).
+  const std::int64_t tree_msgs = 4 * static_cast<std::int64_t>(detail::log2_ceil(size()));
+  const double cost = static_cast<double>(tree_msgs) *
+                      (machine().net.latency + machine().mpi_overhead);
+  const std::int64_t gen = coll_gen_++;
+  const double my_vt = ctx_->vt;
+  const double my_fvt = ctx_->fvt;
+  const double c0 = ctx_->crash_total;
+  const auto result = group_->collective(
+      gen, ctx_->grank, my_vt,
+      [&](auto& slot) {
+        slot.max_vt = std::max(slot.max_vt, my_vt);
+        slot.max_fvt = std::max(slot.max_fvt, my_fvt);
+        slot.agree_and &= value;
+      },
+      [](auto&) {},
+      [](auto& slot) {
+        return std::tuple<std::int64_t, double, double>(slot.agree_and, slot.max_vt,
+                                                        slot.max_fvt);
+      },
+      /*tolerate_revoked=*/true);
+  ctx_->advance(std::max(0.0, std::get<1>(result) - my_vt) + cost, cat);
+  ctx_->fvt = my_fvt;
+  ctx_->fvt += std::max(0.0, std::get<2>(result) - my_fvt) + cost;
+  if (ctx_->crash_total != c0) ctx_->fvt += ctx_->crash_total - c0;
+  ctx_->messages[static_cast<int>(cat)] += tree_msgs;
+  if (ctx_->tracing) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kCollective;
+    e.cat = cat;
+    e.t0 = my_vt;
+    e.t1 = ctx_->vt;
+    e.arrival = std::get<1>(result);
+    e.seq = gen;
+    e.ctx = group_->ctx();
+    e.label = "agree";
+    ctx_->trace.events.push_back(e);
+  }
+  return std::get<0>(result);
+}
+
+Comm Comm::shrink(const std::vector<int>& failed, TimeCategory cat) {
+  std::set<int> dead;
+  for (const int f : failed) {
+    if (f < 0 || f >= size()) throw std::out_of_range("Comm::shrink: bad failed rank");
+    if (f == rank_) {
+      throw std::invalid_argument("Comm::shrink: a survivor cannot be on its own failed list");
+    }
+    dead.insert(f);
+  }
+  const int expected = size() - static_cast<int>(dead.size());
+  // Survivor-only synchronizing sweep: completion needs exactly `expected`
+  // arrivals — the dead ranks, by definition, never arrive.
+  const std::int64_t tree_msgs =
+      2 * static_cast<std::int64_t>(detail::log2_ceil(expected));
+  const double cost = static_cast<double>(tree_msgs) *
+                      (machine().net.latency + machine().mpi_overhead);
+  const std::int64_t gen = coll_gen_++;
+  const double my_vt = ctx_->vt;
+  const double my_fvt = ctx_->fvt;
+  const double c0 = ctx_->crash_total;
+  auto group = group_;  // keep alive across the collective
+  auto result = group_->collective(
+      gen, ctx_->grank, my_vt,
+      [&](auto& slot) {
+        slot.max_vt = std::max(slot.max_vt, my_vt);
+        slot.max_fvt = std::max(slot.max_fvt, my_fvt);
+        if (slot.color_key.empty()) {
+          slot.color_key.assign(static_cast<size_t>(size()), {0, 0});
+          slot.split_groups.resize(static_cast<size_t>(size()));
+          slot.split_rank.assign(static_cast<size_t>(size()), 0);
+        }
+        slot.color_key[static_cast<size_t>(rank_)] = {1, 0};  // I survived
+      },
+      [&](auto& slot) {
+        // Membership is exactly the callers, in old rank order.
+        std::vector<int> survivors;
+        for (int r = 0; r < size(); ++r) {
+          if (slot.color_key[static_cast<size_t>(r)].first == 1) survivors.push_back(r);
+        }
+        std::vector<int> globals;
+        globals.reserve(survivors.size());
+        for (const int r : survivors) globals.push_back(group->global_rank(r));
+        auto g = std::make_shared<detail::CommGroup>(
+            group->cluster(), group->cluster()->next_ctx(), std::move(globals));
+        group->cluster()->register_group(g);
+        for (size_t i = 0; i < survivors.size(); ++i) {
+          slot.split_groups[static_cast<size_t>(survivors[i])] = g;
+          slot.split_rank[static_cast<size_t>(survivors[i])] = static_cast<int>(i);
+        }
+      },
+      [&](auto& slot) {
+        return std::tuple<std::shared_ptr<detail::CommGroup>, int, double, double>(
+            slot.split_groups[static_cast<size_t>(rank_)],
+            slot.split_rank[static_cast<size_t>(rank_)], slot.max_vt, slot.max_fvt);
+      },
+      /*tolerate_revoked=*/true, expected);
+  ctx_->advance(std::max(0.0, std::get<2>(result) - my_vt) + cost, cat);
+  ctx_->fvt = my_fvt;
+  ctx_->fvt += std::max(0.0, std::get<3>(result) - my_fvt) + cost;
+  if (ctx_->crash_total != c0) ctx_->fvt += ctx_->crash_total - c0;
+  ctx_->messages[static_cast<int>(cat)] += tree_msgs;
+  if (ctx_->tracing) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kCollective;
+    e.cat = cat;
+    e.t0 = my_vt;
+    e.t1 = ctx_->vt;
+    e.arrival = std::get<2>(result);
+    e.seq = gen;
+    e.ctx = group_->ctx();
+    e.label = "shrink";
+    ctx_->trace.events.push_back(e);
+  }
+  return Comm(std::move(std::get<0>(result)), std::get<1>(result), ctx_);
+}
+
+const RecoveryStats& Comm::recovery_stats() const { return ctx_->rstats; }
+
+CheckpointScope Comm::register_checkpoint(
+    const char* label, std::function<std::vector<Real>()> capture,
+    std::function<void(const CheckpointImage&)> restore) {
+  // Bypass-free without a crash model: nothing is pushed, nothing captured.
+  if (ctx_->crash_events == nullptr) return CheckpointScope(nullptr, 0);
+  ctx_->hooks.push_back({label, std::move(capture), std::move(restore)});
+  return CheckpointScope(ctx_, ctx_->hooks.size() - 1);
+}
+
+void Comm::checkpoint_epoch(std::int64_t arg) {
+  detail::RankCtx* c = ctx_;
+  if (c->crash_events == nullptr || c->hooks.empty()) return;
+  const auto& hook = c->hooks.back();
+  CheckpointImage img;
+  img.epoch = c->ckpt_epoch_counter++;
+  img.vt = c->vt;
+  img.label = hook.label;
+  img.state = hook.capture();
+  img.checksum = payload_checksum(img.state);
+  // Shipment to the buddy rides the fault ledger only: capture overhead
+  // plus the modeled wire time of the image. The clean clock never moves,
+  // so checkpoint cadence cannot perturb the modeled solve.
+  const double bytes = static_cast<double>(img.state.size()) * sizeof(Real);
+  const RecoveryModel& rm = machine().recovery;
+  const double cost = rm.checkpoint_overhead + machine().net.latency +
+                      bytes / machine().net.bandwidth;
+  c->fvt += cost;
+  c->rstats.checkpoints += 1;
+  c->rstats.checkpoint_bytes += static_cast<std::int64_t>(bytes);
+  c->rstats.checkpoint_time += cost;
+  if (c->tracing) c->trace.marks.push_back({"checkpoint", c->vt, arg});
+  c->ckpt->save(c->grank, std::move(img));
+}
+
+CheckpointScope::CheckpointScope(CheckpointScope&& other) noexcept
+    : ctx_(other.ctx_), index_(other.index_) {
+  other.ctx_ = nullptr;
+}
+
+CheckpointScope::~CheckpointScope() {
+  if (ctx_ == nullptr) return;
+  // Strictly LIFO: popping back to the registration depth also drops any
+  // hooks a misnested inner scope leaked (they could only dangle).
+  if (ctx_->hooks.size() > index_) ctx_->hooks.resize(index_);
 }
 
 Spread spread_over(std::span<const double> values) {
@@ -1233,8 +1701,25 @@ std::uint64_t Cluster::Result::fault_fingerprint() const {
     mix(static_cast<std::uint64_t>(t.corrupt_detected));
     mix(static_cast<std::uint64_t>(t.duplicates));
     mix(static_cast<std::uint64_t>(t.reordered));
+    const RecoveryStats& rec = r.recovery;
+    mix(static_cast<std::uint64_t>(rec.crashes));
+    mix(static_cast<std::uint64_t>(rec.checkpoints));
+    mix(static_cast<std::uint64_t>(rec.checkpoint_bytes));
+    mix(static_cast<std::uint64_t>(rec.restores));
+    mix(static_cast<std::uint64_t>(rec.spares_used));
+    mix(std::bit_cast<std::uint64_t>(rec.detect_time));
+    mix(std::bit_cast<std::uint64_t>(rec.repair_time));
+    mix(std::bit_cast<std::uint64_t>(rec.restore_time));
+    mix(std::bit_cast<std::uint64_t>(rec.replay_time));
+    mix(std::bit_cast<std::uint64_t>(rec.checkpoint_time));
   }
   return h;
+}
+
+RecoveryStats Cluster::Result::recovery_stats() const {
+  RecoveryStats total;
+  for (const auto& r : ranks) total += r.recovery;
+  return total;
 }
 
 Cluster::Result Cluster::run_impl(int nranks, const MachineModel& machine,
@@ -1295,6 +1780,7 @@ Cluster::Result Cluster::run_impl(int nranks, const MachineModel& machine,
     out.vtime = state.rank(r).vt;
     out.fault_vtime = state.rank(r).fvt;
     out.transport = state.rank(r).tstats;
+    out.recovery = state.rank(r).rstats;
     for (int c = 0; c < kNumTimeCategories; ++c) {
       out.category[c] = state.rank(r).category[c];
       out.messages[c] = state.rank(r).messages[c];

@@ -110,6 +110,28 @@ class TraceSpan {
   std::uint64_t epoch_ = 0;         // guards against reset_clock in between
 };
 
+/// RAII registration of a checkpoint/restore hook pair opened by
+/// Comm::register_checkpoint. Hooks form a per-rank stack (strictly LIFO —
+/// destroy in reverse registration order): Comm::checkpoint_epoch captures
+/// through the innermost hook, and crash recovery verifies a restored image
+/// against the innermost hook whose label matches the image. No-op (and
+/// cost-free) unless the machine's crash model is active.
+class CheckpointScope {
+ public:
+  CheckpointScope(CheckpointScope&& other) noexcept;
+  CheckpointScope(const CheckpointScope&) = delete;
+  CheckpointScope& operator=(const CheckpointScope&) = delete;
+  CheckpointScope& operator=(CheckpointScope&&) = delete;
+  ~CheckpointScope();
+
+ private:
+  friend class Comm;
+  CheckpointScope(detail::RankCtx* ctx, std::size_t index)
+      : ctx_(ctx), index_(index) {}
+  detail::RankCtx* ctx_ = nullptr;  // null when the crash model is off
+  std::size_t index_ = 0;           // hook-stack depth to pop back to
+};
+
 /// Per-rank communicator handle (value type; cheap to copy). Created by
 /// `Cluster::run` for the world and by `split` for subgrids.
 class Comm {
@@ -156,6 +178,47 @@ class Comm {
   /// Setup cost is not charged (grids/trees are precomputed in the paper).
   Comm split(int color, int key);
 
+  // --- ULFM-style recovery primitives (docs/ROBUSTNESS.md) ---
+  /// Marks this communicator revoked (ULFM MPI_Comm_revoke): every pending
+  /// and future point-to-point or collective operation on it, at every
+  /// member, fails with FaultKind::kRevoked — blocked peers are woken to
+  /// unwind. agree() and shrink() still complete on a revoked communicator,
+  /// which is how survivors coordinate the repair. Charges the caller one
+  /// software overhead (the notification is one-sided and asynchronous).
+  void revoke(TimeCategory cat = TimeCategory::kOther);
+  /// True once any member has revoked this communicator.
+  bool revoked() const;
+  /// Fault-tolerant agreement (ULFM MPIX_Comm_agree): returns the bitwise
+  /// AND of every member's `value`, and completes even on a revoked
+  /// communicator. Costs two synchronizing tree sweeps (twice a barrier).
+  /// Every member must call it; exclude dead ranks with shrink() first (the
+  /// in-process model has no asynchronous rank death to tolerate here).
+  std::int64_t agree(std::int64_t value, TimeCategory cat = TimeCategory::kOther);
+  /// Collectively rebuilds the communicator without the `failed` comm-local
+  /// ranks (ULFM MPI_Comm_shrink): only the survivors call (every caller
+  /// must pass an identical `failed` list), completion needs exactly
+  /// size() - failed.size() arrivals, and it works on a revoked
+  /// communicator. Survivors keep their relative order. Costs one
+  /// synchronizing tree sweep (one barrier) among the survivors.
+  Comm shrink(const std::vector<int>& failed,
+              TimeCategory cat = TimeCategory::kOther);
+
+  // --- buddy checkpointing (docs/ROBUSTNESS.md; no-ops without a crash model) ---
+  /// Pushes a checkpoint/restore hook pair for the enclosing algorithm
+  /// phase. `capture` serializes this rank's replayable solve state (called
+  /// at each checkpoint_epoch); `restore` is handed the latest image during
+  /// crash recovery and must verify it against the live state (throw
+  /// std::logic_error on a mismatch — a broken image is a checkpoint bug,
+  /// not a modeled fault). `label` must outlive the run (string literal).
+  CheckpointScope register_checkpoint(
+      const char* label, std::function<std::vector<Real>()> capture,
+      std::function<void(const CheckpointImage&)> restore);
+  /// Level-boundary epoch: captures the innermost hook's state and ships it
+  /// to this rank's buddy. The shipment cost rides the fault ledger only —
+  /// the clean clock never moves — so checkpointing cadence cannot perturb
+  /// the modeled solve. `arg` tags the trace marker (level id, row count).
+  void checkpoint_epoch(std::int64_t arg = -1);
+
   // --- virtual clock ---
   double vtime() const;
   void advance(double seconds, TimeCategory cat);
@@ -186,6 +249,10 @@ class Comm {
   double fault_vtime() const;
   /// This rank's reliable-transport counters since reset_clock.
   const TransportStats& transport_stats() const;
+  /// This rank's crash-recovery counters since reset_clock (crashes
+  /// absorbed, checkpoint epochs/bytes, detection/repair/restore/replay
+  /// time). All zero without a crash model.
+  const RecoveryStats& recovery_stats() const;
 
   /// Opens a zero-cost annotation span labeled `label` (must be a string
   /// literal or otherwise outlive the run) with an optional caller-chosen
@@ -217,6 +284,7 @@ struct RankStats {
   std::int64_t bytes[kNumTimeCategories] = {0, 0, 0, 0};
   double fault_vtime = 0.0;
   TransportStats transport;
+  RecoveryStats recovery;
 };
 
 /// Distribution summary of one per-rank statistic (Figs 7-8 load-balance
@@ -257,6 +325,10 @@ class Cluster {
     double fault_makespan() const;
     /// Sum of every rank's reliable-transport counters.
     TransportStats transport_totals() const;
+    /// Sum of every rank's crash-recovery counters (crashes, checkpoint
+    /// epochs and bytes, detection/repair/restore/replay time). All zero
+    /// without a crash model — recovery cost never reaches the clean ledger.
+    RecoveryStats recovery_stats() const;
     /// Mean over ranks of one category (paper plots rank-averaged bars).
     double mean_category(TimeCategory cat) const;
     double max_category(TimeCategory cat) const;
@@ -271,9 +343,10 @@ class Cluster {
     /// repeatability checks and benches compare this single value. Delivery
     /// faults never move it — that is the reliable transport's contract.
     std::uint64_t fingerprint() const;
-    /// fingerprint() extended with the fault ledger (fault clocks and
-    /// transport counters) — pins the *fault schedule* itself, so a seeded
-    /// faulty run is bit-reproducible end to end.
+    /// fingerprint() extended with the fault ledger (fault clocks,
+    /// transport counters and recovery counters) — pins the *fault
+    /// schedule* itself, so a seeded faulty run is bit-reproducible end to
+    /// end.
     std::uint64_t fault_fingerprint() const;
   };
 

@@ -13,6 +13,7 @@
 
 #include <string>
 
+#include "runtime/checkpoint.hpp"
 #include "runtime/perturbation.hpp"
 #include "runtime/reliable.hpp"
 
@@ -67,6 +68,11 @@ struct MachineModel {
   /// Reliable-transport tuning (retransmit timeout, backoff, retry budget,
   /// ack size). Only consulted while perturb.delivery_active().
   TransportOptions transport;
+
+  /// Crash-stop recovery tuning (heartbeat detector, spare pool, buddy
+  /// checkpoint/restore/replay costs; docs/ROBUSTNESS.md). Only consulted
+  /// while perturb.crash_active().
+  RecoveryModel recovery;
 
   /// Cori Haswell: Xeon E5-2698v3 cores, Cray Aries. CPU-only experiments
   /// (paper Fig 4-8).

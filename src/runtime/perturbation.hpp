@@ -91,6 +91,32 @@ struct PerturbationModel {
   };
   std::vector<LinkFault> link_faults;
 
+  // --- crash-stop failures (recovery layer, docs/ROBUSTNESS.md) ---
+  // Crash schedules never perturb the clean clock/counters either: the
+  // victim's solve state is restored from its buddy checkpoint and replayed,
+  // so the solution and clean ledger are bitwise fault-invariant. Detection
+  // latency, ULFM repair collectives, restore traffic and replayed compute
+  // land on the fault clock and Result::recovery_stats.
+
+  /// Deterministic crash schedule: kill world rank `rank` the first time its
+  /// clean virtual clock reaches `vt` (interpreted on the post-reset_clock
+  /// clock, i.e. relative to solve start when the solver resets the clock).
+  struct Crash {
+    int rank = -1;
+    double vt = 0.0;
+  };
+  std::vector<Crash> crashes;
+
+  /// Poisson crash model: each rank draws exponential inter-failure times
+  /// with this mean (seconds of clean virtual time); 0 disables. Draws come
+  /// from a dedicated salted stream (kCrashStreamSalt) with its own per-rank
+  /// counter, so enabling MTBF crashes never shifts a timing or delivery
+  /// draw.
+  double crash_mtbf = 0.0;
+  /// Cap on MTBF-generated crashes per rank (a rank is adopted by a spare
+  /// after each crash, so >1 models repeated failures of the same slot).
+  int crash_max_per_rank = 1;
+
   /// Scheduled rank stall: within the sender-clock window
   /// [vt_begin, vt_end), frames to or from `rank` either crawl (flight
   /// multiplied by `flight_factor` — a slow straggler) or, if `permanent`,
@@ -119,6 +145,11 @@ struct PerturbationModel {
     return drop_prob > 0.0 || dup_prob > 0.0 || corrupt_prob > 0.0 ||
            reorder_prob > 0.0 || !link_faults.empty() || !stalls.empty();
   }
+
+  /// True if any crash-stop knob is set (these engage heartbeat detection,
+  /// buddy checkpointing and the ULFM-style recovery path; the clean clock,
+  /// counters and solution are still never altered).
+  bool crash_active() const { return !crashes.empty() || crash_mtbf > 0.0; }
 };
 
 namespace detail {

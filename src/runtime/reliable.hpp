@@ -93,6 +93,9 @@ enum class FaultKind : int {
   kRankStalled,       ///< permanent rank stall swallowed every attempt
   kDeadlock,          ///< watchdog: every live rank blocked, nothing in flight
   kVtLimit,           ///< virtual clock passed RunOptions::vt_limit
+  kRevoked,           ///< operation on a communicator revoked after a crash
+  kBuddyLoss,         ///< crashed rank and its checkpoint buddy both died
+  kSparesExhausted,   ///< more crashes than the spare-rank pool could absorb
 };
 
 const char* fault_kind_name(FaultKind k);

@@ -206,7 +206,7 @@ std::map<std::int64_t, double> Trace::wait_by_span(const char* label) const {
   return out;
 }
 
-void Trace::write_chrome_json(std::ostream& os) const {
+void Trace::write_chrome_json(std::ostream& os, bool fault_ledger) const {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   auto emit = [&](const std::string& line) {
@@ -241,13 +241,17 @@ void Trace::write_chrome_json(std::ostream& os) const {
           char a[224];
           // Transport fields are emitted only when a fault actually hit this
           // message, so fault-free traces serialize byte-identically to a
-          // build without the reliable transport.
+          // build without the reliable transport. A clean-ledger export
+          // (fault_ledger = false) suppresses them outright: everything a
+          // fault touched lives on the fault ledger, so the clean JSON of a
+          // faulty run must match its fault-free twin byte for byte.
           char extra[96] = "";
-          if (e.retrans > 0) {
+          if (fault_ledger && e.retrans > 0) {
             std::snprintf(extra, sizeof(extra), ",\"retrans\":%d",
                           static_cast<int>(e.retrans));
           }
-          if (e.kind == TraceEventKind::kRecv && e.fault_arrival > e.arrival) {
+          if (fault_ledger && e.kind == TraceEventKind::kRecv &&
+              e.fault_arrival > e.arrival) {
             const size_t len = std::strlen(extra);
             std::snprintf(extra + len, sizeof(extra) - len,
                           ",\"fault_delay_us\":%s",
@@ -279,6 +283,20 @@ void Trace::write_chrome_json(std::ostream& os) const {
                     cat_name(e.cat), args.c_str());
       emit(buf);
     }
+    if (fault_ledger) {
+      // Recovery markers: thread-scoped instant events pinned to the clean
+      // virtual time where the crash fired / the restore completed / the
+      // checkpoint epoch was cut.
+      for (const auto& m : ranks_[r].marks) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%zu,"
+                      "\"ts\":%s,\"name\":\"%s\",\"cat\":\"recovery\","
+                      "\"args\":{\"arg\":%lld}}",
+                      r, us(m.t).c_str(), m.label,
+                      static_cast<long long>(m.arg));
+        emit(buf);
+      }
+    }
   }
   for (size_t i = 0; i < edges_.size(); ++i) {
     const Edge& edge = edges_[i];
@@ -299,7 +317,7 @@ void Trace::write_chrome_json(std::ostream& os) const {
                   "\"id\":%zu,\"name\":\"msg\",\"cat\":\"flow\"}",
                   edge.dst_rank, us(land).c_str(), i);
     emit(buf);
-    if (d.retrans > 0 && d.fault_arrival > 0.0) {
+    if (fault_ledger && d.retrans > 0 && d.fault_arrival > 0.0) {
       // Recovered message: a second arrow in its own category shows where
       // the accepted copy landed on the fault clock, making retransmission
       // delay visible next to the clean-flight arrow. Ids continue past the
@@ -320,9 +338,9 @@ void Trace::write_chrome_json(std::ostream& os) const {
   os << "\n]}\n";
 }
 
-std::string Trace::chrome_json() const {
+std::string Trace::chrome_json(bool fault_ledger) const {
   std::ostringstream os;
-  write_chrome_json(os);
+  write_chrome_json(os, fault_ledger);
   return os.str();
 }
 

@@ -82,10 +82,22 @@ struct TraceSpanRec {
   double t1 = 0.0;
 };
 
+/// A zero-duration marker pinned to one virtual-time instant — crash,
+/// restore and checkpoint epochs from the recovery layer. Markers are
+/// fault-ledger metadata: they never participate in the critical-path walk
+/// or the contiguity invariant, and the clean-ledger JSON export
+/// (write_chrome_json(os, /*fault_ledger=*/false)) omits them entirely.
+struct TraceMarker {
+  const char* label = nullptr;  ///< static string (see TraceEvent::label)
+  double t = 0.0;               ///< clean virtual time of the instant
+  std::int64_t arg = -1;        ///< spare index / image epoch / caller arg
+};
+
 /// One rank's raw recording buffer (append-only while the rank runs).
 struct RankTrace {
   std::vector<TraceEvent> events;
   std::vector<TraceSpanRec> spans;
+  std::vector<TraceMarker> marks;
 };
 
 /// Merged, matched view of a whole run. Build once via Trace::build.
@@ -160,11 +172,17 @@ class Trace {
   std::map<std::int64_t, double> wait_by_span(const char* label) const;
 
   /// Chrome trace-event JSON (Perfetto-loadable): one thread per rank,
-  /// "X" slices for events and spans, flow arrows for matched messages.
+  /// "X" slices for events and spans, flow arrows for matched messages,
+  /// instant events for recovery markers (crash/restore/checkpoint).
   /// Deterministic formatting: equal traces serialize byte-identically.
-  void write_chrome_json(std::ostream& os) const;
-  std::string chrome_json() const;
-  /// Writes chrome_json() to `path`; returns false on I/O failure.
+  /// `fault_ledger = false` strips everything the fault ledger owns —
+  /// markers, retransmit arrows, retrans/fault_delay_us args — so the
+  /// export of a crashed-but-recovered run is byte-identical to its
+  /// fault-free twin's (the two-ledger invariant, made greppable).
+  void write_chrome_json(std::ostream& os, bool fault_ledger = true) const;
+  std::string chrome_json(bool fault_ledger = true) const;
+  /// Writes chrome_json() (full fidelity) to `path`; returns false on I/O
+  /// failure.
   bool write_chrome_json_file(const std::string& path) const;
 
  private:

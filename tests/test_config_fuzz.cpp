@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <random>
 
 #include "core/sptrsv3d.hpp"
@@ -78,6 +79,68 @@ TEST_P(ConfigFuzzTest, DistributedMatchesSequential) {
     worst = std::max(worst, std::abs(out.x[i] - ref[i]));
   }
   EXPECT_LT(worst, 1e-9);
+}
+
+TEST_P(ConfigFuzzTest, CleanLedgerInvariantUnderCrashAndDeliveryFaults) {
+  const FuzzCase& c = GetParam();
+  const CsrMatrix a = make_grid2d(14, 14, Stencil2d::kNinePoint, {.seed = c.seed});
+
+  AnalyzeOptions aopt;
+  aopt.nd.levels = c.nd_levels;
+  aopt.supernode.max_width = c.max_width;
+  aopt.supernode.relax_width = c.relax;
+  const FactoredSystem fs = analyze_and_factor(a, aopt);
+
+  std::mt19937_64 rng(c.seed ^ 1);
+  std::uniform_real_distribution<Real> uni(-1.0, 1.0);
+  std::vector<Real> b(static_cast<size_t>(a.rows()) * c.nrhs);
+  for (auto& v : b) v = uni(rng);
+
+  SolveConfig cfg;
+  cfg.shape = c.shape;
+  cfg.algorithm = c.alg;
+  cfg.nrhs = c.nrhs;
+  cfg.run = RunOptions{.deterministic = true, .seed = c.seed};
+  const DistSolveOutcome clean =
+      solve_system_3d(fs, b, cfg, MachineModel::cori_haswell());
+
+  // Same solve under a randomly drawn combination of delivery faults and a
+  // crash schedule. The whole point of the two-ledger design is that none of
+  // this can touch the clean ledger: solution bits, clean fingerprint and
+  // message counts must match the fault-free run for every sampled config.
+  MachineModel m = MachineModel::cori_haswell();
+  std::mt19937_64 knobs(c.seed ^ 0xC7A5);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  m.perturb.drop_prob = 0.10 * u01(knobs);
+  m.perturb.dup_prob = 0.05 * u01(knobs);
+  m.perturb.corrupt_prob = 0.02 * u01(knobs);
+  m.perturb.reorder_prob = 0.05 * u01(knobs);
+  m.perturb.reorder_window = 5e-6;
+  const int nranks = c.shape.px * c.shape.py * c.shape.pz;
+  const int victim = nranks > 1 ? 1 + static_cast<int>(knobs() %
+                                      static_cast<std::uint64_t>(nranks - 1))
+                                : -1;
+  if (victim >= 0) {
+    // Mid-solve on the victim's own clock; recoverable (one crash, a live
+    // buddy, spares available).
+    const double t =
+        (0.25 + 0.5 * u01(knobs)) *
+        clean.run_stats.ranks[static_cast<size_t>(victim)].vtime;
+    m.perturb.crashes.push_back({victim, t});
+  }
+  const DistSolveOutcome faulty = solve_system_3d(fs, b, cfg, m);
+
+  ASSERT_EQ(clean.x.size(), faulty.x.size());
+  for (size_t i = 0; i < clean.x.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&clean.x[i], &faulty.x[i], sizeof(Real)), 0)
+        << "solution bit " << i << " moved under faults";
+  }
+  EXPECT_EQ(clean.run_stats.fingerprint(), faulty.run_stats.fingerprint());
+  EXPECT_DOUBLE_EQ(clean.run_stats.makespan(), faulty.run_stats.makespan());
+  if (victim >= 0) {
+    EXPECT_GE(faulty.run_stats.recovery_stats().crashes, 1);
+    EXPECT_GT(faulty.run_stats.fault_makespan(), faulty.run_stats.makespan());
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, ConfigFuzzTest, ::testing::ValuesIn(make_cases()),
