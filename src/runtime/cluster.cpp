@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <tuple>
@@ -265,10 +266,22 @@ struct SchedulerDeadlock {};
 /// Deterministic-mode run-token scheduler (docs/DETERMINISM.md).
 ///
 /// Exactly one rank executes at a time; every blocking point in the runtime
-/// hands the token back here. The next holder is always the READY rank with
-/// the lexicographically smallest (virtual-time key, rank) pair, so the
-/// complete execution order — and with it every wildcard-receive choice,
-/// clock value and message count — is a pure function of the program.
+/// hands the token back here. Under the default kFifo policy the next
+/// holder is always the READY rank with the lexicographically smallest
+/// (virtual-time key, rank) pair, so the complete execution order — and
+/// with it every wildcard-receive choice, clock value and message count —
+/// is a pure function of the program.
+///
+/// Exploration policies (docs/TESTING.md) permute the grant order among
+/// *eligible* ranks only: a rank that yielded through the commit fence
+/// (Comm::recv_range deferring while someone could still send earlier) is
+/// eligible again only once it holds the minimal key — re-granting it any
+/// sooner would spin it against the very condition it yielded on. Ranks
+/// that are READY for any other reason (start, wake after a delivery) are
+/// freely permutable: whichever of them runs first, each receive still
+/// commits to the globally earliest producible arrival, so the modeled
+/// outcome is invariant and only the interleaving explored changes. Every
+/// grant decision is recorded into a ScheduleCertificate for exact replay.
 ///
 /// States: READY (wants the token, key = the virtual time it would resume
 /// at), RUNNING (holds the token), BLOCKED (needs wake(): an unsatisfied
@@ -277,11 +290,32 @@ struct SchedulerDeadlock {};
 /// depend on thread start-up order.
 class Scheduler {
  public:
-  explicit Scheduler(int nranks, bool watchdog)
-      : watchdog_(watchdog),
+  Scheduler(int nranks, const RunOptions& opts)
+      : watchdog_(opts.watchdog),
+        replay_(opts.replay_schedule),
+        policy_(replay_ ? replay_->policy : opts.schedule),
+        seed_(replay_ ? replay_->seed : opts.schedule_seed),
+        delay_left_(opts.delay_budget),
         state_(static_cast<size_t>(nranks), State::kUnstarted),
         key_(static_cast<size_t>(nranks), 0.0),
-        cv_(static_cast<size_t>(nranks)) {}
+        yielded_(static_cast<size_t>(nranks), 0),
+        cv_(static_cast<size_t>(nranks)) {
+    if (policy_ == SchedulePolicy::kRandomPriority) {
+      prio_.resize(static_cast<size_t>(nranks));
+      for (int r = 0; r < nranks; ++r) {
+        // Bit 32 keeps every initial priority above the demotion counter's
+        // range, so a demoted rank sinks below all undemoted ones.
+        prio_[static_cast<size_t>(r)] =
+            hash64(seed_ ^ hash64(static_cast<std::uint64_t>(r) + 1)) |
+            (std::uint64_t{1} << 32);
+      }
+      change_at_.reserve(static_cast<size_t>(opts.priority_points));
+      for (int i = 0; i < opts.priority_points; ++i) {
+        change_at_.push_back(hash64(seed_ ^ (0x9E3779B9ull + static_cast<std::uint64_t>(i))) % 512);
+      }
+      std::sort(change_at_.begin(), change_at_.end());
+    }
+  }
 
   /// Invoked (under the scheduler lock) at the moment a deadlock is proven,
   /// with some blocked rank as witness — while every parked rank's WaitInfo
@@ -315,6 +349,7 @@ class Scheduler {
     std::unique_lock<std::mutex> lk(mu_);
     state_[static_cast<size_t>(rank)] = State::kReady;
     key_[static_cast<size_t>(rank)] = key;
+    yielded_[static_cast<size_t>(rank)] = 1;
     running_ = -1;
     grant_locked();
     wait_for_token(lk, rank);
@@ -325,6 +360,7 @@ class Scheduler {
     std::unique_lock<std::mutex> lk(mu_);
     state_[static_cast<size_t>(rank)] = State::kBlocked;
     key_[static_cast<size_t>(rank)] = key;
+    yielded_[static_cast<size_t>(rank)] = 0;
     running_ = -1;
     grant_locked();
     wait_for_token(lk, rank);
@@ -359,11 +395,27 @@ class Scheduler {
     for (auto& cv : cv_) cv.notify_all();
   }
 
+  /// The grant record so far (safe after join; callable any time).
+  ScheduleCertificate certificate() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ScheduleCertificate c;
+    c.policy = policy_;
+    c.seed = seed_;
+    c.grants = record_;
+    return c;
+  }
+
  private:
   enum class State { kUnstarted, kReady, kRunning, kBlocked, kDone };
 
-  /// Grants the token to the minimal-(key, rank) READY rank, once all ranks
-  /// have started and no one is running. Caller holds mu_.
+  /// A READY rank the policy may legally grant: never yielded, or yielded
+  /// but now holding the minimal key (see the class comment).
+  bool eligible_locked(size_t r, double min_key) const {
+    return state_[r] == State::kReady && (!yielded_[r] || key_[r] <= min_key);
+  }
+
+  /// Grants the token to the policy's choice among eligible READY ranks,
+  /// once all ranks have started and no one is running. Caller holds mu_.
   void grant_locked() {
     if (running_ != -1 || started_ < static_cast<int>(state_.size())) return;
     int best = -1;
@@ -393,12 +445,73 @@ class Scheduler {
       }
       return;
     }
+    // `best` is the FIFO choice (minimal key over READY, so always
+    // eligible); exploration policies may substitute any other eligible
+    // rank without breaking the commit fence.
+    best = pick_locked(best, key_[static_cast<size_t>(best)]);
+    yielded_[static_cast<size_t>(best)] = 0;
+    record_.push_back(best);
+    ++grant_n_;
     state_[static_cast<size_t>(best)] = State::kRunning;
     running_ = best;
     // Per-rank condition variables: a handoff wakes exactly the new holder.
     // One shared cv would thundering-herd all P waiters per handoff, which
     // dominates runtime at P in the thousands.
     cv_[static_cast<size_t>(best)].notify_one();
+  }
+
+  /// Applies the schedule policy / replay to the FIFO choice. Caller holds
+  /// mu_; `fifo` is READY with the minimal key `min_key`.
+  int pick_locked(int fifo, double min_key) {
+    if (replay_ != nullptr) {
+      // Follow the certificate while it stays legal; a diverged or
+      // exhausted record degrades to FIFO instead of wedging the run.
+      if (replay_pos_ < replay_->grants.size()) {
+        const int want = replay_->grants[replay_pos_++];
+        if (want >= 0 && want < static_cast<int>(state_.size()) &&
+            eligible_locked(static_cast<size_t>(want), min_key)) {
+          return want;
+        }
+      }
+      return fifo;
+    }
+    switch (policy_) {
+      case SchedulePolicy::kFifo:
+        return fifo;
+      case SchedulePolicy::kRandomPriority: {
+        int best = fifo;
+        for (size_t r = 0; r < state_.size(); ++r) {
+          if (!eligible_locked(r, min_key)) continue;
+          if (prio_[r] > prio_[static_cast<size_t>(best)]) best = static_cast<int>(r);
+        }
+        // PCT priority-change points: demote the chosen rank below every
+        // undemoted priority at the seeded grant indices.
+        while (change_pos_ < change_at_.size() && change_at_[change_pos_] <= grant_n_) {
+          prio_[static_cast<size_t>(best)] = demote_next_++;
+          ++change_pos_;
+        }
+        return best;
+      }
+      case SchedulePolicy::kDelayBounded: {
+        if (delay_left_ > 0 && (hash64(seed_ ^ (grant_n_ * 0x9E3779B97F4A7C15ull)) & 3) == 0) {
+          // Defer the front rank once: grant the second rank in
+          // (key, rank) order among eligibles, if there is one.
+          int second = -1;
+          for (size_t r = 0; r < state_.size(); ++r) {
+            if (static_cast<int>(r) == fifo || !eligible_locked(r, min_key)) continue;
+            if (second < 0 || key_[r] < key_[static_cast<size_t>(second)]) {
+              second = static_cast<int>(r);
+            }
+          }
+          if (second >= 0) {
+            --delay_left_;
+            return second;
+          }
+        }
+        return fifo;
+      }
+    }
+    return fifo;
   }
 
   void wait_for_token(std::unique_lock<std::mutex>& lk, int rank) {
@@ -414,10 +527,22 @@ class Scheduler {
   bool aborted_ = false;
   bool deadlocked_ = false;
   std::function<void(int)> deadlock_cb_;
+  const ScheduleCertificate* replay_ = nullptr;
+  SchedulePolicy policy_ = SchedulePolicy::kFifo;
+  std::uint64_t seed_ = 0;
+  int delay_left_ = 0;
+  std::size_t replay_pos_ = 0;
+  std::uint64_t grant_n_ = 0;
+  std::vector<std::uint64_t> prio_;       // kRandomPriority only
+  std::vector<std::uint64_t> change_at_;  // sorted PCT change-point grants
+  std::size_t change_pos_ = 0;
+  std::uint64_t demote_next_ = 0;
+  std::vector<std::int32_t> record_;
   int started_ = 0;
   int running_ = -1;
   std::vector<State> state_;
   std::vector<double> key_;
+  std::vector<char> yielded_;
   std::mutex mu_;
   std::vector<std::condition_variable> cv_;
 };
@@ -429,7 +554,7 @@ class ClusterState {
       : machine_(std::move(machine)), opts_(opts),
         ranks_(static_cast<size_t>(nranks)), active_(nranks) {
     if (opts_.deterministic) {
-      sched_ = std::make_unique<Scheduler>(nranks, opts_.watchdog);
+      sched_ = std::make_unique<Scheduler>(nranks, opts_);
       sched_->set_deadlock_callback(
           [this](int witness) { record_fault(build_deadlock_report(witness)); });
     }
@@ -1094,10 +1219,22 @@ Message Comm::recv_range(int src, int tag_lo, int tag_hi, TimeCategory cat) {
   // Among queued matches take the earliest virtual arrival (unperturbed
   // per-source arrivals are monotone, so same-source FIFO is preserved;
   // perturbation seeds may reorder them — by design, solvers must not care).
+  // Bitwise-equal arrivals are broken lexicographically by (sender, seq) —
+  // never by queue insertion order, which would leak the thread/grant order
+  // into the wildcard choice, and never by a policy-seeded score: which
+  // equal-arrival message is taken first changes the virtual times of the
+  // sends issued between the two takes, so the tie-break must be one fixed
+  // function of the messages themselves for the clean ledger to stay
+  // schedule-invariant (docs/TESTING.md).
+  auto earlier = [&](const detail::Envelope& a, const detail::Envelope& b) {
+    if (a.msg.arrival != b.msg.arrival) return a.msg.arrival < b.msg.arrival;
+    if (a.src_grank != b.src_grank) return a.src_grank < b.src_grank;
+    return a.seq < b.seq;
+  };
   auto scan = [&]() {
     auto best = box.q.end();
     for (auto it = box.q.begin(); it != box.q.end(); ++it) {
-      if (matches(*it) && (best == box.q.end() || it->msg.arrival < best->msg.arrival)) {
+      if (matches(*it) && (best == box.q.end() || earlier(*it, *best))) {
         best = it;
       }
     }
@@ -1727,6 +1864,31 @@ Cluster::Result Cluster::run_impl(int nranks, const MachineModel& machine,
                                   const RunOptions& opts,
                                   std::exception_ptr* err_out) {
   if (nranks <= 0) throw std::invalid_argument("Cluster::run: nranks must be positive");
+  // Schedule-exploration knobs are rejected with structured errors before
+  // any thread spawns: an invalid combination is a caller bug, never a
+  // modeled fault (docs/TESTING.md).
+  if (!opts.deterministic && opts.schedule != SchedulePolicy::kFifo) {
+    throw std::invalid_argument(
+        "Cluster::run: SchedulePolicy exploration requires deterministic mode");
+  }
+  if (!opts.deterministic && opts.replay_schedule != nullptr) {
+    throw std::invalid_argument(
+        "Cluster::run: schedule replay requires deterministic mode");
+  }
+  if (opts.priority_points < 0) {
+    throw std::invalid_argument("Cluster::run: priority_points must be >= 0");
+  }
+  if (opts.delay_budget < 0) {
+    throw std::invalid_argument("Cluster::run: delay_budget must be >= 0");
+  }
+  if (opts.replay_schedule != nullptr) {
+    for (const std::int32_t g : opts.replay_schedule->grants) {
+      if (g < 0 || g >= nranks) {
+        throw std::invalid_argument(
+            "Cluster::run: replay certificate grants a rank out of range");
+      }
+    }
+  }
   detail::ClusterState state(nranks, machine, opts);
   std::vector<int> globals(static_cast<size_t>(nranks));
   for (int r = 0; r < nranks; ++r) globals[static_cast<size_t>(r)] = r;
@@ -1787,6 +1949,7 @@ Cluster::Result Cluster::run_impl(int nranks, const MachineModel& machine,
       out.bytes[c] = state.rank(r).bytes[c];
     }
   }
+  if (state.sched() != nullptr) res.schedule = state.sched()->certificate();
   if (opts.trace && !first_error) {
     std::vector<RankTrace> buffers;
     buffers.reserve(static_cast<size_t>(nranks));
@@ -1797,6 +1960,54 @@ Cluster::Result Cluster::run_impl(int nranks, const MachineModel& machine,
   }
   *err_out = first_error;
   return res;
+}
+
+const char* schedule_policy_name(SchedulePolicy p) {
+  switch (p) {
+    case SchedulePolicy::kFifo: return "fifo";
+    case SchedulePolicy::kRandomPriority: return "random_priority";
+    case SchedulePolicy::kDelayBounded: return "delay_bounded";
+  }
+  return "unknown";
+}
+
+std::string ScheduleCertificate::to_string() const {
+  std::ostringstream os;
+  os << schedule_policy_name(policy) << ' ' << seed << ' ' << grants.size();
+  for (const std::int32_t g : grants) os << ' ' << g;
+  return os.str();
+}
+
+ScheduleCertificate ScheduleCertificate::parse(const std::string& text) {
+  std::istringstream is(text);
+  std::string name;
+  ScheduleCertificate c;
+  std::size_t n = 0;
+  if (!(is >> name >> c.seed >> n)) {
+    throw std::invalid_argument("ScheduleCertificate::parse: malformed header");
+  }
+  if (name == "fifo") {
+    c.policy = SchedulePolicy::kFifo;
+  } else if (name == "random_priority") {
+    c.policy = SchedulePolicy::kRandomPriority;
+  } else if (name == "delay_bounded") {
+    c.policy = SchedulePolicy::kDelayBounded;
+  } else {
+    throw std::invalid_argument("ScheduleCertificate::parse: unknown policy '" + name + "'");
+  }
+  c.grants.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int32_t g = 0;
+    if (!(is >> g)) {
+      throw std::invalid_argument("ScheduleCertificate::parse: truncated grant list");
+    }
+    c.grants.push_back(g);
+  }
+  std::string extra;
+  if (is >> extra) {
+    throw std::invalid_argument("ScheduleCertificate::parse: trailing tokens");
+  }
+  return c;
 }
 
 Cluster::Result Cluster::run(int nranks, const MachineModel& machine,

@@ -48,6 +48,48 @@ namespace sptrsv {
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
+/// Grant-order policy for the deterministic scheduler. Every policy keeps
+/// the commit fence of docs/DETERMINISM.md intact — a wildcard receive
+/// still only commits once no runnable rank could produce an earlier
+/// arrival — so clocks, counters and fingerprints must be *identical*
+/// across policies; the policies only permute which legal interleaving is
+/// explored. That makes schedule exploration a bug-finding tool: any
+/// observable difference between two policies is a schedule-dependence bug
+/// in the program under test (see docs/TESTING.md).
+enum class SchedulePolicy {
+  /// Token goes to the minimal (virtual-time key, rank) READY rank — the
+  /// historical order; free of any seeded choice.
+  kFifo = 0,
+  /// PCT-style randomized priorities: each rank draws a seeded priority,
+  /// the highest eligible priority runs, and at `priority_points` seeded
+  /// grant indices the running rank is demoted below everyone else.
+  kRandomPriority = 1,
+  /// FIFO, except up to `delay_budget` seeded grants defer the front rank
+  /// once in favour of the second-eligible rank.
+  kDelayBounded = 2,
+};
+
+/// Name of a policy for logs / certificates ("fifo", "random_priority",
+/// "delay_bounded").
+const char* schedule_policy_name(SchedulePolicy p);
+
+/// Compact replayable record of every grant decision a deterministic run
+/// made. `(policy, seed, grants)` pins the interleaving exactly: replaying
+/// it (RunOptions::replay_schedule) reproduces the run bit-for-bit,
+/// including every wildcard tie-break, without re-deriving the policy's
+/// choices. Serializes to one text line for bug reports.
+struct ScheduleCertificate {
+  SchedulePolicy policy = SchedulePolicy::kFifo;
+  std::uint64_t seed = 0;
+  /// Rank granted the token at each scheduler decision, in order.
+  std::vector<std::int32_t> grants;
+
+  /// One line: "<policy> <seed> <n> <g0> <g1> ...".
+  std::string to_string() const;
+  /// Inverse of to_string; throws std::invalid_argument on malformed text.
+  static ScheduleCertificate parse(const std::string& text);
+};
+
 /// Per-run scheduling options for Cluster::run.
 struct RunOptions {
   /// Serialize rank execution behind a virtual-time-ordered token so the
@@ -72,6 +114,26 @@ struct RunOptions {
   /// passes this bound (infinity = unlimited). A cheap guard against
   /// runaway modeled time under pathological fault schedules.
   double vt_limit = std::numeric_limits<double>::infinity();
+  /// Grant-order exploration policy (deterministic mode only; any other
+  /// value than kFifo with deterministic == false throws
+  /// std::invalid_argument). See docs/TESTING.md.
+  SchedulePolicy schedule = SchedulePolicy::kFifo;
+  /// Seed for the schedule policy's choices. Independent of `seed` (the
+  /// fault/perturbation stream) so schedules can be swept without touching
+  /// fault draws. Wildcard arrival ties are NOT seeded — they break by a
+  /// fixed function of the messages, or the clean ledger would diverge.
+  std::uint64_t schedule_seed = 0;
+  /// kRandomPriority: number of seeded priority-change points (PCT's d).
+  /// Must be >= 0.
+  int priority_points = 2;
+  /// kDelayBounded: maximum number of seeded one-grant deferrals. Must
+  /// be >= 0.
+  int delay_budget = 8;
+  /// Replay a recorded certificate instead of running a policy (the
+  /// certificate's policy/seed take precedence over the fields above).
+  /// Deterministic mode only; the pointed-to certificate must outlive the
+  /// run. Grants out of range for `nranks` throw std::invalid_argument.
+  const ScheduleCertificate* replay_schedule = nullptr;
 };
 
 /// A received message.
@@ -317,6 +379,11 @@ class Cluster {
     FaultReport fault;
     /// First error message of a failed try_run ("" on success).
     std::string error;
+    /// Grant-decision record of a deterministic run (empty grants
+    /// otherwise). Feed it back through RunOptions::replay_schedule to
+    /// reproduce this exact interleaving — docs/TESTING.md shows the
+    /// one-liner.
+    ScheduleCertificate schedule;
     bool ok() const { return error.empty(); }
     /// Modeled solve makespan: max vtime over ranks.
     double makespan() const;

@@ -6,6 +6,7 @@
 #include "core/sptrsv3d.hpp"
 #include "factor/sptrsv_seq.hpp"
 #include "sparse/generators.hpp"
+#include "test_support.hpp"
 
 namespace sptrsv {
 namespace {
@@ -24,6 +25,13 @@ struct FuzzCase {
   Grid3dShape shape;
   Algorithm3d alg;
   Idx nrhs;
+  /// Fuzzed schedule-exploration knobs, applied to the *faulty* run of the
+  /// ledger test — so crash/delivery faults and grant-order perturbation are
+  /// exercised together against the FIFO clean run.
+  SchedulePolicy policy;
+  std::uint64_t schedule_seed;
+  int priority_points;
+  int delay_budget;
   std::string name;
 };
 
@@ -42,10 +50,18 @@ std::vector<FuzzCase> make_cases() {
         std::uniform_int_distribution<int>(0, static_cast<int>(shapes.size()) - 1)(rng))];
     c.alg = (i % 2 == 0) ? Algorithm3d::kProposed : Algorithm3d::kBaseline;
     c.nrhs = std::uniform_int_distribution<Idx>(1, 3)(rng);
+    const int pol = std::uniform_int_distribution<int>(0, 2)(rng);
+    c.policy = pol == 0   ? SchedulePolicy::kFifo
+               : pol == 1 ? SchedulePolicy::kRandomPriority
+                          : SchedulePolicy::kDelayBounded;
+    c.schedule_seed = rng();
+    c.priority_points = std::uniform_int_distribution<int>(0, 6)(rng);
+    c.delay_budget = std::uniform_int_distribution<int>(0, 24)(rng);
     c.name = "case" + std::to_string(i) + "_w" + std::to_string(c.max_width) + "_r" +
              std::to_string(c.relax) + "_p" + std::to_string(c.shape.px) + "x" +
              std::to_string(c.shape.py) + "x" + std::to_string(c.shape.pz) +
-             (c.alg == Algorithm3d::kProposed ? "_new" : "_base");
+             (c.alg == Algorithm3d::kProposed ? "_new" : "_base") + "_" +
+             schedule_policy_name(c.policy);
     cases.push_back(std::move(c));
   }
   return cases;
@@ -63,10 +79,7 @@ TEST_P(ConfigFuzzTest, DistributedMatchesSequential) {
   aopt.supernode.relax_width = c.relax;
   const FactoredSystem fs = analyze_and_factor(a, aopt);
 
-  std::mt19937_64 rng(c.seed ^ 1);
-  std::uniform_real_distribution<Real> uni(-1.0, 1.0);
-  std::vector<Real> b(static_cast<size_t>(a.rows()) * c.nrhs);
-  for (auto& v : b) v = uni(rng);
+  const std::vector<Real> b = test::random_rhs(a.rows(), c.nrhs, c.seed ^ 1);
 
   SolveConfig cfg;
   cfg.shape = c.shape;
@@ -91,10 +104,7 @@ TEST_P(ConfigFuzzTest, CleanLedgerInvariantUnderCrashAndDeliveryFaults) {
   aopt.supernode.relax_width = c.relax;
   const FactoredSystem fs = analyze_and_factor(a, aopt);
 
-  std::mt19937_64 rng(c.seed ^ 1);
-  std::uniform_real_distribution<Real> uni(-1.0, 1.0);
-  std::vector<Real> b(static_cast<size_t>(a.rows()) * c.nrhs);
-  for (auto& v : b) v = uni(rng);
+  const std::vector<Real> b = test::random_rhs(a.rows(), c.nrhs, c.seed ^ 1);
 
   SolveConfig cfg;
   cfg.shape = c.shape;
@@ -104,10 +114,16 @@ TEST_P(ConfigFuzzTest, CleanLedgerInvariantUnderCrashAndDeliveryFaults) {
   const DistSolveOutcome clean =
       solve_system_3d(fs, b, cfg, MachineModel::cori_haswell());
 
-  // Same solve under a randomly drawn combination of delivery faults and a
-  // crash schedule. The whole point of the two-ledger design is that none of
-  // this can touch the clean ledger: solution bits, clean fingerprint and
-  // message counts must match the fault-free run for every sampled config.
+  // Same solve under a randomly drawn combination of delivery faults, a
+  // crash schedule, and a fuzzed schedule-exploration policy. The whole
+  // point of the two-ledger design (and of the commit fence under policy
+  // grant orders) is that none of this can touch the clean ledger: solution
+  // bits, clean fingerprint and message counts must match the fault-free
+  // FIFO run for every sampled config.
+  cfg.run.schedule = c.policy;
+  cfg.run.schedule_seed = c.schedule_seed;
+  cfg.run.priority_points = c.priority_points;
+  cfg.run.delay_budget = c.delay_budget;
   MachineModel m = MachineModel::cori_haswell();
   std::mt19937_64 knobs(c.seed ^ 0xC7A5);
   std::uniform_real_distribution<double> u01(0.0, 1.0);
@@ -145,6 +161,58 @@ TEST_P(ConfigFuzzTest, CleanLedgerInvariantUnderCrashAndDeliveryFaults) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, ConfigFuzzTest, ::testing::ValuesIn(make_cases()),
                          [](const auto& info) { return info.param.name; });
+
+/// Invalid schedule-knob combinations must be rejected before any rank
+/// thread spawns, with std::invalid_argument naming the problem — never an
+/// assert, a hang, or a misattributed FaultReport.
+TEST(ScheduleKnobValidation, PolicyWithoutDeterministicModeThrows) {
+  RunOptions o;
+  o.deterministic = false;
+  o.schedule = SchedulePolicy::kRandomPriority;
+  EXPECT_THROW(Cluster::run(2, test::test_machine(), [](Comm&) {}, o),
+               std::invalid_argument);
+}
+
+TEST(ScheduleKnobValidation, ReplayWithoutDeterministicModeThrows) {
+  ScheduleCertificate cert;
+  RunOptions o;
+  o.deterministic = false;
+  o.replay_schedule = &cert;
+  EXPECT_THROW(Cluster::run(2, test::test_machine(), [](Comm&) {}, o),
+               std::invalid_argument);
+}
+
+TEST(ScheduleKnobValidation, NegativeKnobsThrow) {
+  RunOptions o{.deterministic = true};
+  o.priority_points = -1;
+  EXPECT_THROW(Cluster::run(2, test::test_machine(), [](Comm&) {}, o),
+               std::invalid_argument);
+  o.priority_points = 2;
+  o.delay_budget = -3;
+  EXPECT_THROW(Cluster::run(2, test::test_machine(), [](Comm&) {}, o),
+               std::invalid_argument);
+}
+
+TEST(ScheduleKnobValidation, ReplayGrantOutOfRangeThrows) {
+  ScheduleCertificate cert;
+  cert.grants = {0, 1, 7};  // rank 7 does not exist in a world of 2
+  RunOptions o{.deterministic = true};
+  o.replay_schedule = &cert;
+  EXPECT_THROW(Cluster::run(2, test::test_machine(), [](Comm&) {}, o),
+               std::invalid_argument);
+}
+
+TEST(ScheduleKnobValidation, CertificateParseRejectsMalformedText) {
+  EXPECT_THROW(ScheduleCertificate::parse(""), std::invalid_argument);
+  EXPECT_THROW(ScheduleCertificate::parse("bogus 0 0"), std::invalid_argument);
+  EXPECT_THROW(ScheduleCertificate::parse("fifo 0 3 1 2"), std::invalid_argument);
+  EXPECT_THROW(ScheduleCertificate::parse("fifo 0 1 2 junk"), std::invalid_argument);
+  const ScheduleCertificate c = ScheduleCertificate::parse("random_priority 42 3 0 1 0");
+  EXPECT_EQ(c.policy, SchedulePolicy::kRandomPriority);
+  EXPECT_EQ(c.seed, 42u);
+  EXPECT_EQ(c.grants, (std::vector<std::int32_t>{0, 1, 0}));
+  EXPECT_EQ(ScheduleCertificate::parse(c.to_string()).to_string(), c.to_string());
+}
 
 }  // namespace
 }  // namespace sptrsv

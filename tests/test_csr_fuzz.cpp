@@ -4,6 +4,7 @@
 #include <random>
 
 #include "sparse/csr.hpp"
+#include "test_support.hpp"
 
 namespace sptrsv {
 namespace {
@@ -11,38 +12,15 @@ namespace {
 /// Property fuzz of the CSR builder against a std::map reference model:
 /// arbitrary triplet streams (duplicates, any order) must compress to the
 /// same (row, col) -> summed-value relation, and the structural operations
-/// must agree with brute force.
-
-struct Model {
-  Idx rows, cols;
-  std::map<std::pair<Idx, Idx>, Real> entries;
-};
-
-Model random_model(std::mt19937_64& rng, CooMatrix& coo) {
-  std::uniform_int_distribution<Idx> dim(1, 30);
-  Model m;
-  m.rows = dim(rng);
-  m.cols = dim(rng);
-  coo.rows = m.rows;
-  coo.cols = m.cols;
-  std::uniform_int_distribution<Idx> ri(0, m.rows - 1), ci(0, m.cols - 1);
-  std::uniform_real_distribution<Real> val(-2.0, 2.0);
-  std::uniform_int_distribution<int> count(0, 120);
-  const int n = count(rng);
-  for (int e = 0; e < n; ++e) {
-    const Idx r = ri(rng), c = ci(rng);
-    const Real v = val(rng);
-    coo.add(r, c, v);
-    m.entries[{r, c}] += v;
-  }
-  return m;
-}
+/// must agree with brute force. The model generator lives in
+/// test_support.hpp (shared with the solver fuzz suites).
+using Model = test::CooModel;
 
 TEST(CsrFuzz, FromCooMatchesMapModel) {
   std::mt19937_64 rng(2024);
   for (int trial = 0; trial < 50; ++trial) {
     CooMatrix coo;
-    const Model m = random_model(rng, coo);
+    const Model m = test::random_coo_model(rng, coo);
     const CsrMatrix a = CsrMatrix::from_coo(coo);
     ASSERT_EQ(a.rows(), m.rows);
     ASSERT_EQ(a.cols(), m.cols);
@@ -57,7 +35,7 @@ TEST(CsrFuzz, TransposeAgainstModel) {
   std::mt19937_64 rng(7);
   for (int trial = 0; trial < 30; ++trial) {
     CooMatrix coo;
-    const Model m = random_model(rng, coo);
+    const Model m = test::random_coo_model(rng, coo);
     const CsrMatrix t = CsrMatrix::from_coo(coo).transposed();
     ASSERT_EQ(t.nnz(), static_cast<Nnz>(m.entries.size()));
     for (const auto& [rc, v] : m.entries) {
@@ -70,7 +48,7 @@ TEST(CsrFuzz, SymmetrizeUnionAgainstModel) {
   std::mt19937_64 rng(99);
   for (int trial = 0; trial < 30; ++trial) {
     CooMatrix coo;
-    Model m = random_model(rng, coo);
+    Model m = test::random_coo_model(rng, coo);
     if (m.rows != m.cols) continue;  // symmetrize requires square use here
     const CsrMatrix s = CsrMatrix::from_coo(coo).symmetrized_pattern();
     // Pattern = union of entries and their transposes; values preserved.
@@ -90,7 +68,7 @@ TEST(CsrFuzz, PermutationRoundTrips) {
   std::mt19937_64 rng(4242);
   for (int trial = 0; trial < 30; ++trial) {
     CooMatrix coo;
-    Model m = random_model(rng, coo);
+    Model m = test::random_coo_model(rng, coo);
     if (m.rows != m.cols) continue;
     for (Idx i = 0; i < m.rows; ++i) coo.add(i, i, 1.0);  // square w/ diagonal
     const CsrMatrix a = CsrMatrix::from_coo(coo);
@@ -117,7 +95,7 @@ TEST(CsrFuzz, MatvecAgainstModel) {
   std::mt19937_64 rng(17);
   for (int trial = 0; trial < 30; ++trial) {
     CooMatrix coo;
-    const Model m = random_model(rng, coo);
+    const Model m = test::random_coo_model(rng, coo);
     const CsrMatrix a = CsrMatrix::from_coo(coo);
     std::uniform_real_distribution<Real> val(-1.0, 1.0);
     std::vector<Real> x(static_cast<size_t>(m.cols));

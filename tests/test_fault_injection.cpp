@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -403,6 +404,36 @@ TEST(Watchdog, DeterministicRecvDeadlock) {
   EXPECT_EQ(res.fault.kind, FaultKind::kDeadlock);
   EXPECT_NE(res.fault.detail.find("waiting on recv"), std::string::npos)
       << "detail: " << res.fault.detail;
+}
+
+TEST(Watchdog, CyclicWaitReportNamesEveryWaitingPair) {
+  // Hand-built 4-cycle: rank r waits on rank (r+1)%4 with tag 40+r, so no
+  // rank can ever progress. The report must carry the witness's own
+  // (src, tag) pair in the structured fields AND name all four members of
+  // the deadlocked set, each with the exact (src, tag window) it sits on —
+  // that text is what a user debugging a wedged solve acts on.
+  constexpr int kP = 4;
+  for (const bool det : {true, false}) {
+    RunOptions opts;
+    opts.deterministic = det;
+    const Cluster::Result res = Cluster::try_run(
+        kP, test_machine(),
+        [](Comm& c) { c.recv((c.rank() + 1) % c.size(), 40 + c.rank()); }, opts);
+    EXPECT_FALSE(res.ok()) << "det=" << det;
+    ASSERT_EQ(res.fault.kind, FaultKind::kDeadlock) << "det=" << det;
+    ASSERT_GE(res.fault.rank, 0);
+    ASSERT_LT(res.fault.rank, kP);
+    EXPECT_EQ(res.fault.peer, (res.fault.rank + 1) % kP) << "det=" << det;
+    EXPECT_EQ(res.fault.tag, 40 + res.fault.rank) << "det=" << det;
+    for (int r = 0; r < kP; ++r) {
+      char expect[64];
+      std::snprintf(expect, sizeof(expect), "rank %d waiting on recv(src=%d, tags[%d,%d)",
+                    r, (r + 1) % kP, 40 + r, 41 + r);
+      EXPECT_NE(res.fault.detail.find(expect), std::string::npos)
+          << "det=" << det << ": report does not name rank " << r
+          << "'s wait; detail: " << res.fault.detail;
+    }
+  }
 }
 
 TEST(Watchdog, FreeRunningRecvDeadlock) {

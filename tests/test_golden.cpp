@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sptrsv3d.hpp"
+#include "sparse/paper_matrices.hpp"
+#include "test_support.hpp"
+
+namespace sptrsv {
+namespace {
+
+/// Golden-fingerprint corpus: the clean-ledger fingerprint of a 2x2x2
+/// deterministic solve of every Table-1 matrix, for both 3D algorithms and
+/// two perturbation seeds, pinned in tests/golden_fingerprints.txt. Any
+/// drift — a clock-model change, a reordered reduction, a perturbation
+/// stream change — fails here with the exact (matrix, algorithm, seed)
+/// that moved. Intentional changes regenerate the corpus:
+///
+///   SPTRSV_GOLDEN_REGEN=tests/golden_fingerprints.txt ./build/tests/test_golden
+///
+/// (path relative to where the binary runs; see docs/TESTING.md).
+
+std::string fp_hex(std::uint64_t fp) {
+  std::ostringstream os;
+  os << std::hex;
+  os.width(16);
+  os.fill('0');
+  os << fp;
+  return os.str();
+}
+
+/// "<matrix> <algorithm> <seed>" -> fingerprint hex, for all 24 corpus
+/// entries, computed fresh.
+std::map<std::string, std::string> compute_corpus() {
+  std::map<std::string, std::string> out;
+  for (const PaperMatrix pm : all_paper_matrices()) {
+    const CsrMatrix a = make_paper_matrix(pm, MatrixScale::kTiny);
+    const FactoredSystem fs = analyze_and_factor(a, 3);
+    const std::vector<Real> b = test::random_rhs(a.rows(), 1, 42);
+    for (const Algorithm3d alg : {Algorithm3d::kProposed, Algorithm3d::kBaseline}) {
+      for (const std::uint64_t seed : {0, 1}) {
+        SolveConfig cfg;
+        cfg.shape = {2, 2, 2};
+        cfg.algorithm = alg;
+        cfg.run = RunOptions{.deterministic = true, .seed = seed};
+        // Perturbations are seeded, so the perturbed clocks are part of
+        // what the fingerprint pins — seeds 0 and 1 are distinct entries.
+        const DistSolveOutcome res =
+            solve_system_3d(fs, b, cfg, test::perturbed_machine());
+        const std::string key = paper_matrix_name(pm) + " " +
+                                (alg == Algorithm3d::kProposed ? "proposed" : "baseline") +
+                                " " + std::to_string(seed);
+        out[key] = fp_hex(res.run_stats.fingerprint());
+      }
+    }
+  }
+  return out;
+}
+
+TEST(GoldenFingerprints, MatchCorpus) {
+  const std::map<std::string, std::string> computed = compute_corpus();
+
+  if (const char* regen = std::getenv("SPTRSV_GOLDEN_REGEN");
+      regen != nullptr && *regen != '\0') {
+    std::ofstream out(regen);
+    ASSERT_TRUE(out) << "cannot write " << regen;
+    out << "# Golden clean-ledger fingerprints (tests/test_golden.cpp).\n"
+        << "# <matrix> <algorithm> <perturbation-seed> <fingerprint>\n"
+        << "# Regenerate: SPTRSV_GOLDEN_REGEN=<path> ./build/tests/test_golden\n";
+    for (const auto& [key, fp] : computed) out << key << " " << fp << "\n";
+    GTEST_SKIP() << "regenerated " << computed.size() << " entries into " << regen;
+  }
+
+  std::ifstream in(GOLDEN_FILE);
+  ASSERT_TRUE(in) << "missing golden corpus " << GOLDEN_FILE;
+  std::map<std::string, std::string> golden;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string matrix, alg, seed, fp;
+    ASSERT_TRUE(ls >> matrix >> alg >> seed >> fp) << "malformed line: " << line;
+    golden[matrix + " " + alg + " " + seed] = fp;
+  }
+
+  ASSERT_EQ(golden.size(), computed.size())
+      << "corpus entry count drifted — regenerate deliberately";
+  for (const auto& [key, fp] : computed) {
+    const auto it = golden.find(key);
+    ASSERT_NE(it, golden.end()) << "no golden entry for " << key;
+    EXPECT_EQ(it->second, fp) << "fingerprint drifted for " << key;
+  }
+}
+
+}  // namespace
+}  // namespace sptrsv

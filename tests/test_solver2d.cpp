@@ -5,6 +5,7 @@
 #include "core/solver2d.hpp"
 #include "factor/sptrsv_seq.hpp"
 #include "sparse/paper_matrices.hpp"
+#include "test_support.hpp"
 
 namespace sptrsv {
 namespace {
@@ -14,48 +15,11 @@ FactoredSystem make_system(int levels = 2) {
       make_paper_matrix(PaperMatrix::kS2D9pt2048, MatrixScale::kTiny), levels);
 }
 
-std::vector<Real> random_rhs(Idx n, Idx nrhs, std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  std::uniform_real_distribution<Real> uni(-1.0, 1.0);
-  std::vector<Real> b(static_cast<size_t>(n) * nrhs);
-  for (auto& v : b) v = uni(rng);
-  return b;
-}
-
-/// Scatters diag-owned supernode pieces out of an n-vector.
-VecMap local_pieces(const SupernodalLU& lu, const Solve2dPlan& plan, int me,
-                    std::span<const Idx> snodes, std::span<const Real> v, Idx nrhs) {
-  VecMap out;
-  for (const Idx k : snodes) {
-    if (plan.shape().diag_owner(k) != me) continue;
-    const Idx w = lu.sym.part.width(k);
-    const Idx base = lu.sym.part.first_col(k);
-    std::vector<Real> piece(static_cast<size_t>(w) * nrhs);
-    for (Idx j = 0; j < nrhs; ++j) {
-      for (Idx i = 0; i < w; ++i) {
-        piece[static_cast<size_t>(j) * w + i] =
-            v[static_cast<size_t>(j) * lu.n() + base + i];
-      }
-    }
-    out.emplace(k, std::move(piece));
-  }
-  return out;
-}
-
-/// Gathers y pieces from all ranks' results into an n-vector (shared mem).
-void merge_pieces(const SupernodalLU& lu, const VecMap& pieces, std::span<Real> out,
-                  Idx nrhs) {
-  for (const auto& [k, piece] : pieces) {
-    const Idx w = lu.sym.part.width(k);
-    const Idx base = lu.sym.part.first_col(k);
-    for (Idx j = 0; j < nrhs; ++j) {
-      for (Idx i = 0; i < w; ++i) {
-        out[static_cast<size_t>(j) * lu.n() + base + i] =
-            piece[static_cast<size_t>(j) * w + i];
-      }
-    }
-  }
-}
+// RHS generation and the piece scatter/gather helpers are shared with the
+// differential and schedule suites via test_support.hpp.
+using test::local_pieces;
+using test::merge_pieces;
+using test::random_rhs;
 
 class Solver2dGridTest : public ::testing::TestWithParam<std::pair<int, int>> {};
 

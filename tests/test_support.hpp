@@ -11,12 +11,17 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <map>
+#include <mutex>
 #include <random>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/solver2d.hpp"
 #include "core/sptrsv3d.hpp"
+#include "dist/solve_plan.hpp"
 #include "factor/supernodal_lu.hpp"
 #include "ordering/nested_dissection.hpp"
 #include "sparse/generators.hpp"
@@ -66,6 +71,183 @@ inline Real max_abs_diff(std::span<const Real> a, std::span<const Real> b) {
   Real worst = 0;
   for (size_t i = 0; i < a.size(); ++i) worst = std::max(worst, std::abs(a[i] - b[i]));
   return worst;
+}
+
+/// Units-in-the-last-place distance between two doubles: 0 iff bitwise
+/// equal, 1 for adjacent representables, huge across a sign flip. The
+/// differential oracle compares solver paths this way — a fixed absolute
+/// tolerance would be meaninglessly loose for well-scaled entries and
+/// meaninglessly tight near zero.
+inline std::uint64_t ulp_distance(Real a, Real b) {
+  if (std::isnan(a) || std::isnan(b)) return ~std::uint64_t{0};
+  auto mono = [](Real v) {
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof u);
+    // Map the IEEE bit pattern to a monotone unsigned key (negative range
+    // reversed and placed below the positive range).
+    return (u & (std::uint64_t{1} << 63)) ? ~u : u | (std::uint64_t{1} << 63);
+  };
+  const std::uint64_t ka = mono(a), kb = mono(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+/// Worst elementwise ULP distance over two equal-length spans.
+inline std::uint64_t max_ulp_distance(std::span<const Real> a,
+                                      std::span<const Real> b) {
+  std::uint64_t worst = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, ulp_distance(a[i], b[i]));
+  }
+  return worst;
+}
+
+/// Reference model for the CSR-builder property fuzz: the (row, col) ->
+/// summed-value relation an arbitrary triplet stream must compress to.
+struct CooModel {
+  Idx rows = 0, cols = 0;
+  std::map<std::pair<Idx, Idx>, Real> entries;
+};
+
+/// Draws a random triplet stream (duplicates, any order) into `coo` and
+/// returns the matching CooModel.
+inline CooModel random_coo_model(std::mt19937_64& rng, CooMatrix& coo) {
+  std::uniform_int_distribution<Idx> dim(1, 30);
+  CooModel m;
+  m.rows = dim(rng);
+  m.cols = dim(rng);
+  coo.rows = m.rows;
+  coo.cols = m.cols;
+  std::uniform_int_distribution<Idx> ri(0, m.rows - 1), ci(0, m.cols - 1);
+  std::uniform_real_distribution<Real> val(-2.0, 2.0);
+  std::uniform_int_distribution<int> count(0, 120);
+  const int n = count(rng);
+  for (int e = 0; e < n; ++e) {
+    const Idx r = ri(rng), c = ci(rng);
+    const Real v = val(rng);
+    coo.add(r, c, v);
+    m.entries[{r, c}] += v;
+  }
+  return m;
+}
+
+/// Scatters diag-owned supernode pieces out of an n x nrhs column-major
+/// vector (the 2D solvers' input layout).
+inline VecMap local_pieces(const SupernodalLU& lu, const Solve2dPlan& plan, int me,
+                           std::span<const Idx> snodes, std::span<const Real> v,
+                           Idx nrhs) {
+  VecMap out;
+  for (const Idx k : snodes) {
+    if (plan.shape().diag_owner(k) != me) continue;
+    const Idx w = lu.sym.part.width(k);
+    const Idx base = lu.sym.part.first_col(k);
+    std::vector<Real> piece(static_cast<size_t>(w) * nrhs);
+    for (Idx j = 0; j < nrhs; ++j) {
+      for (Idx i = 0; i < w; ++i) {
+        piece[static_cast<size_t>(j) * w + i] =
+            v[static_cast<size_t>(j) * lu.n() + base + i];
+      }
+    }
+    out.emplace(k, std::move(piece));
+  }
+  return out;
+}
+
+/// Gathers solved pieces from all ranks back into an n x nrhs vector
+/// (shared-memory merge; call under a mutex from rank_fn).
+inline void merge_pieces(const SupernodalLU& lu, const VecMap& pieces,
+                         std::span<Real> out, Idx nrhs) {
+  for (const auto& [k, piece] : pieces) {
+    const Idx w = lu.sym.part.width(k);
+    const Idx base = lu.sym.part.first_col(k);
+    for (Idx j = 0; j < nrhs; ++j) {
+      for (Idx i = 0; i < w; ++i) {
+        out[static_cast<size_t>(j) * lu.n() + base + i] =
+            piece[static_cast<size_t>(j) * w + i];
+      }
+    }
+  }
+}
+
+/// Whole-matrix A x = b through the message-driven 2D solver on a px*py
+/// grid: permutes b into factor order, runs L-then-U, permutes x back.
+/// `fs` must track the whole matrix as one node (analyze_and_factor(a, 0)).
+struct Dist2dOutcome {
+  std::vector<Real> x;
+  Cluster::Result run;
+};
+inline Dist2dOutcome solve_system_2d(const FactoredSystem& fs, Grid2dShape shape,
+                                     std::span<const Real> b, Idx nrhs,
+                                     const MachineModel& m,
+                                     const RunOptions& opts = {}) {
+  const Solve2dPlan plan = make_grid_plan(fs.lu, fs.tree, 0, shape, TreeKind::kBinary);
+  const Idx n = fs.lu.n();
+  std::vector<Real> pb(b.size());
+  for (Idx j = 0; j < nrhs; ++j) {
+    for (Idx i = 0; i < n; ++i) {
+      pb[static_cast<size_t>(j) * n + i] =
+          b[static_cast<size_t>(j) * n + fs.perm[static_cast<size_t>(i)]];
+    }
+  }
+  std::vector<Real> px(b.size(), 0.0);
+  std::mutex mu;
+  Dist2dOutcome out;
+  out.run = Cluster::run(
+      shape.size(), m,
+      [&](Comm& c) {
+        const VecMap b_local = local_pieces(fs.lu, plan, c.rank(), plan.cols(), pb, nrhs);
+        auto lres = solve_l_2d(c, plan, b_local, {}, nrhs, 0);
+        auto ures = solve_u_2d(c, plan, lres.y, {}, nrhs, 40000);
+        std::lock_guard<std::mutex> lk(mu);
+        merge_pieces(fs.lu, ures.x, px, nrhs);
+      },
+      opts);
+  out.x.resize(b.size());
+  for (Idx j = 0; j < nrhs; ++j) {
+    for (Idx i = 0; i < n; ++i) {
+      out.x[static_cast<size_t>(j) * n + fs.perm[static_cast<size_t>(i)]] =
+          px[static_cast<size_t>(j) * n + i];
+    }
+  }
+  return out;
+}
+
+/// One point of the schedule-exploration sweep: a named RunOptions.
+struct SchedulePoint {
+  RunOptions opts;
+  std::string name;
+};
+
+/// The standard exploration grid (docs/TESTING.md): FIFO, PCT random
+/// priorities with d in {0, 2, 5}, and delay-bounded with budgets {4, 16},
+/// each over `seeds_per_policy` schedule seeds — 1 + 5 * seeds points.
+/// `fault_seed` goes into RunOptions::seed (the perturbation/fault stream),
+/// deliberately held fixed while schedules vary.
+inline std::vector<SchedulePoint> schedule_sweep(int seeds_per_policy,
+                                                 std::uint64_t fault_seed = 0) {
+  std::vector<SchedulePoint> pts;
+  RunOptions base;
+  base.deterministic = true;
+  base.seed = fault_seed;
+  pts.push_back({base, "fifo"});
+  for (const int d : {0, 2, 5}) {
+    for (int s = 0; s < seeds_per_policy; ++s) {
+      RunOptions o = base;
+      o.schedule = SchedulePolicy::kRandomPriority;
+      o.schedule_seed = 0xACE1ull + 1000 * static_cast<std::uint64_t>(d) + static_cast<std::uint64_t>(s);
+      o.priority_points = d;
+      pts.push_back({o, "pct_d" + std::to_string(d) + "_s" + std::to_string(s)});
+    }
+  }
+  for (const int budget : {4, 16}) {
+    for (int s = 0; s < seeds_per_policy; ++s) {
+      RunOptions o = base;
+      o.schedule = SchedulePolicy::kDelayBounded;
+      o.schedule_seed = 0xD31Aull + 1000 * static_cast<std::uint64_t>(budget) + static_cast<std::uint64_t>(s);
+      o.delay_budget = budget;
+      pts.push_back({o, "delay_b" + std::to_string(budget) + "_s" + std::to_string(s)});
+    }
+  }
+  return pts;
 }
 
 /// Exact (bitwise) equality of two Real spans — the determinism tests
