@@ -25,10 +25,16 @@ int main() {
                                  std::pair{4, 16}}) {
       GpuSolveConfig cfg;
       cfg.shape = {px, 1, pz};
+      cfg.metrics = bench_json_enabled();
       cfg.schedule = GpuScheduleMode::kResidentSpin;
       const auto naive = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, machine);
       cfg.schedule = GpuScheduleMode::kTwoKernel;
       const auto two = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, machine);
+      const std::string stem_tail = paper_matrix_name(which) + "_" +
+                                    std::to_string(px) + "x1x" +
+                                    std::to_string(pz);
+      bench_report_gpu("spin_" + stem_tail, naive);
+      bench_report_gpu("twok_" + stem_tail, two);
       t.add_row({std::to_string(px), std::to_string(pz), fmt_time(naive.total),
                  fmt_time(two.total), fmt_ratio(naive.total / two.total)});
     }

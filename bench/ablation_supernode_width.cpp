@@ -27,6 +27,10 @@ int main() {
     std::snprintf(par, sizeof(par), "%.1f", dag.parallelism());
     t.add_row({std::to_string(cap), std::to_string(fs.lu.num_supernodes()), par,
                std::to_string(dag.critical_path_length), fmt_time(out.makespan)});
+    bench_report("cap" + std::to_string(cap),
+                 {{"supernodes", static_cast<double>(fs.lu.num_supernodes())},
+                  {"chain_length", static_cast<double>(dag.critical_path_length)},
+                  {"makespan", out.makespan}});
   }
   t.print();
   return 0;

@@ -150,6 +150,7 @@ int main(int argc, char** argv) {
   cfg.nrhs = nrhs;
   cfg.run.deterministic = true;  // repeated runs print identical reports
   cfg.run.trace = true;
+  cfg.run.metrics = bench_json_enabled();
   const auto b = bench_rhs(fs.lu.n(), nrhs);
   const DistSolveOutcome out = solve_system_3d(fs, b, cfg, machine);
   const Trace& trace = *out.run_stats.trace;
@@ -183,6 +184,21 @@ int main(int argc, char** argv) {
   const double err = std::abs(cp.breakdown.total() - makespan) /
                      std::max(makespan, 1e-300);
   std::printf("partition check: |sum - makespan| / makespan = %.2e\n", err);
+
+  if (bench_json_enabled()) {
+    std::map<std::string, double> values;
+    if (out.run_stats.metrics != nullptr) {
+      values = metric_totals(*out.run_stats.metrics);
+    }
+    values["makespan"] = makespan;
+    values["cp_wait"] = cp.breakdown.wait;
+    for (int c = 0; c < kNumTimeCategories; ++c) {
+      values[std::string("cp_") + category_name(c)] = cp.breakdown.category[c];
+    }
+    bench_report(matrix + "_" + std::to_string(shape.px) + "x" +
+                     std::to_string(shape.py) + "x" + std::to_string(shape.pz),
+                 values);
+  }
 
   std::printf("\n## top-%d longest message hops on the critical path\n", topk);
   {

@@ -27,6 +27,13 @@ int main() {
                   solve_time_lower_bound(s, 6e9, 1.8e-6));
     t.add_row({paper_matrix_name(which), std::to_string(s.num_tasks), total, chain,
                par, std::to_string(s.critical_path_length), bound});
+    bench_report(paper_matrix_name(which),
+                 {{"tasks", static_cast<double>(s.num_tasks)},
+                  {"total_flops", s.total_flops},
+                  {"critical_path_flops", s.critical_path_flops},
+                  {"critical_path_length",
+                   static_cast<double>(s.critical_path_length)},
+                  {"cp_bound", solve_time_lower_bound(s, 6e9, 1.8e-6)}});
   }
   t.print();
   std::printf("\nParallelism ~bounds the useful total rank count; the chain bound\n"

@@ -1,0 +1,228 @@
+/// \file bench_compare.cpp
+/// \brief Diffs two SPTRSV_BENCH_JSON report directories and flags
+/// regressions (docs/OBSERVABILITY.md).
+///
+///   bench_compare [--tol FRAC] BASELINE_DIR CANDIDATE_DIR
+///   bench_compare --self-test
+///
+/// Reports are matched by filename (NNN_<stem>.json, schema
+/// "sptrsv-bench/1"); every value is compared lower-is-better, and a
+/// relative increase beyond --tol (default 0.10) is a regression. Exit
+/// codes: 0 no regressions, 1 regressions found, 2 usage or IO failure.
+///
+/// --self-test writes a baseline and a deliberately regressed copy into a
+/// scratch directory and checks both comparison outcomes; it is wired into
+/// ctest so the regression exit path stays exercised.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Report {
+  std::string point;
+  std::map<std::string, double> values;
+};
+
+/// Minimal parser for the flat sptrsv-bench/1 document bench_report writes:
+/// {"schema":"sptrsv-bench/1","point":"<stem>","values":{"k":num,...}}.
+/// Returns false on anything that doesn't look like that schema.
+bool parse_report(const std::string& text, Report& out) {
+  auto find_string = [&](const char* key, std::string& val) {
+    const std::string pat = std::string("\"") + key + "\":\"";
+    const size_t at = text.find(pat);
+    if (at == std::string::npos) return false;
+    const size_t begin = at + pat.size();
+    const size_t end = text.find('"', begin);
+    if (end == std::string::npos) return false;
+    val = text.substr(begin, end - begin);
+    return true;
+  };
+  std::string schema;
+  if (!find_string("schema", schema) || schema != "sptrsv-bench/1") return false;
+  if (!find_string("point", out.point)) return false;
+  const size_t vals_at = text.find("\"values\":{");
+  if (vals_at == std::string::npos) return false;
+  size_t i = vals_at + std::strlen("\"values\":{");
+  while (i < text.size() && text[i] != '}') {
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] != '"') return false;
+    const size_t kend = text.find('"', i + 1);
+    if (kend == std::string::npos || kend + 1 >= text.size() ||
+        text[kend + 1] != ':') {
+      return false;
+    }
+    const std::string key = text.substr(i + 1, kend - i - 1);
+    char* num_end = nullptr;
+    const double v = std::strtod(text.c_str() + kend + 2, &num_end);
+    if (num_end == text.c_str() + kend + 2) return false;
+    out.values[key] = v;
+    i = static_cast<size_t>(num_end - text.c_str());
+  }
+  return i < text.size();  // saw the closing brace
+}
+
+bool read_report(const fs::path& path, Report& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return parse_report(text, out);
+}
+
+/// Loads every *.json report in `dir`, keyed by filename.
+bool load_dir(const fs::path& dir, std::map<std::string, Report>& out) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    std::fprintf(stderr, "bench_compare: not a directory: %s\n", dir.c_str());
+    return false;
+  }
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".json") continue;
+    Report rep;
+    if (!read_report(entry.path(), rep)) {
+      std::fprintf(stderr, "bench_compare: skipping unparsable report %s\n",
+                   entry.path().c_str());
+      continue;
+    }
+    out.emplace(entry.path().filename().string(), std::move(rep));
+  }
+  if (ec) {
+    std::fprintf(stderr, "bench_compare: cannot list %s\n", dir.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Compares candidate against baseline; returns the number of regressions
+/// (relative increase > tol on any value, all lower-is-better).
+int compare_dirs(const fs::path& base_dir, const fs::path& cand_dir, double tol,
+                 bool quiet = false) {
+  std::map<std::string, Report> base, cand;
+  if (!load_dir(base_dir, base) || !load_dir(cand_dir, cand)) return -1;
+  int regressions = 0;
+  int compared = 0;
+  for (const auto& [file, b] : base) {
+    const auto it = cand.find(file);
+    if (it == cand.end()) {
+      if (!quiet) {
+        std::fprintf(stderr, "bench_compare: %s missing from candidate\n",
+                     file.c_str());
+      }
+      continue;
+    }
+    for (const auto& [name, bv] : b.values) {
+      const auto vt = it->second.values.find(name);
+      if (vt == it->second.values.end()) continue;
+      ++compared;
+      const double nv = vt->second;
+      const double denom = std::max(std::fabs(bv), 1e-300);
+      const double rel = (nv - bv) / denom;
+      if (rel > tol) {
+        ++regressions;
+        if (!quiet) {
+          std::printf("REGRESSION %s %s: %.6g -> %.6g (+%.1f%% > %.1f%%)\n",
+                      file.c_str(), name.c_str(), bv, nv, 100.0 * rel,
+                      100.0 * tol);
+        }
+      }
+    }
+  }
+  if (!quiet) {
+    std::printf("compared %d values across %zu matched reports: %d regression%s\n",
+                compared, base.size(), regressions, regressions == 1 ? "" : "s");
+  }
+  return regressions;
+}
+
+bool write_file(const fs::path& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+/// Proves the regression exit path: a clean pair compares equal, an
+/// injected +50% makespan is flagged. Returns the process exit code.
+int self_test() {
+  const fs::path root = fs::temp_directory_path() / "sptrsv_bench_compare_selftest";
+  std::error_code ec;
+  fs::remove_all(root, ec);
+  const fs::path base = root / "base";
+  const fs::path same = root / "same";
+  const fs::path regressed = root / "regressed";
+  fs::create_directories(base, ec);
+  fs::create_directories(same, ec);
+  fs::create_directories(regressed, ec);
+  const char* doc_base =
+      "{\"schema\":\"sptrsv-bench/1\",\"point\":\"new_2x2x4\","
+      "\"values\":{\"makespan\":0.001,\"metric.cluster.messages.z\":128}}\n";
+  const char* doc_regressed =
+      "{\"schema\":\"sptrsv-bench/1\",\"point\":\"new_2x2x4\","
+      "\"values\":{\"makespan\":0.0015,\"metric.cluster.messages.z\":128}}\n";
+  if (!write_file(base / "000_new_2x2x4.json", doc_base) ||
+      !write_file(same / "000_new_2x2x4.json", doc_base) ||
+      !write_file(regressed / "000_new_2x2x4.json", doc_regressed)) {
+    std::fprintf(stderr, "self-test: cannot write scratch reports\n");
+    return 2;
+  }
+  const int clean = compare_dirs(base, same, 0.10, /*quiet=*/true);
+  const int dirty = compare_dirs(base, regressed, 0.10, /*quiet=*/true);
+  fs::remove_all(root, ec);
+  if (clean != 0) {
+    std::fprintf(stderr, "self-test FAIL: identical dirs reported %d\n", clean);
+    return 1;
+  }
+  if (dirty <= 0) {
+    std::fprintf(stderr, "self-test FAIL: injected regression not flagged\n");
+    return 1;
+  }
+  std::printf("self-test PASS: identical dirs clean, injected +50%% flagged\n");
+  return 0;
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare [--tol FRAC] BASELINE_DIR CANDIDATE_DIR\n"
+               "       bench_compare --self-test\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tol = 0.10;
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--self-test") {
+      return self_test();
+    } else if (a == "--tol") {
+      if (i + 1 >= argc) usage();
+      tol = std::atof(argv[++i]);
+    } else if (!a.empty() && a[0] == '-') {
+      usage();
+    } else {
+      dirs.push_back(a);
+    }
+  }
+  if (dirs.size() != 2) usage();
+  const int regressions = compare_dirs(dirs[0], dirs[1], tol);
+  if (regressions < 0) return 2;
+  return regressions > 0 ? 1 : 0;
+}

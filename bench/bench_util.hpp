@@ -45,6 +45,17 @@ inline std::string bench_trace_dir() {
   return (v != nullptr) ? std::string(v) : std::string();
 }
 
+/// SPTRSV_BENCH_JSON=<dir> writes one machine-readable report per sweep
+/// point into <dir> as NNN_<stem>.json (schema "sptrsv-bench/1"): the
+/// bench's headline numbers plus, for modeled solves, the metric-registry
+/// totals. bench_compare diffs two such directories. Empty string: off.
+inline std::string bench_json_dir() {
+  const char* v = std::getenv("SPTRSV_BENCH_JSON");
+  return (v != nullptr) ? std::string(v) : std::string();
+}
+
+inline bool bench_json_enabled() { return !bench_json_dir().empty(); }
+
 /// SPTRSV_BENCH_FAULT=<drop_prob> runs every solve over a lossy network that
 /// drops each data/ack frame with the given probability. The reliable
 /// transport (docs/ROBUSTNESS.md) retransmits until delivery, so the printed
@@ -76,6 +87,9 @@ inline RunOptions bench_run_options() {
   RunOptions opts;
   opts.deterministic = v != nullptr && v[0] != '\0' && v[0] != '0';
   opts.trace = !bench_trace_dir().empty();
+  // Metrics ride along with JSON reporting; they live outside the clean
+  // ledger, so the printed tables are bitwise unchanged.
+  opts.metrics = bench_json_enabled();
   return opts;
 }
 
@@ -88,6 +102,10 @@ inline void print_mode_banner() {
   if (!tdir.empty()) {
     std::printf("# tracing: one Perfetto JSON per sweep point under %s/\n",
                 tdir.c_str());
+  }
+  if (bench_json_enabled()) {
+    std::printf("# reports: one sptrsv-bench/1 JSON per sweep point under %s/\n",
+                bench_json_dir().c_str());
   }
   if (const double drop = bench_fault_drop(); drop > 0.0) {
     std::printf(
@@ -118,6 +136,64 @@ inline void maybe_dump_trace(const Trace* trace, const std::string& stem) {
   if (!trace->write_chrome_json_file(path)) {
     std::fprintf(stderr, "warning: failed to write trace %s\n", path.c_str());
   }
+}
+
+/// Writes one sweep-point report into the SPTRSV_BENCH_JSON directory as
+/// NNN_<stem>.json. `values` are the point's headline numbers, flat and
+/// name-sorted; all are compared lower-is-better by bench_compare, so emit
+/// times/counts, not speedup ratios. Deterministic byte-for-byte for equal
+/// inputs (%.17g doubles, sorted keys). No-op when the env var is unset.
+inline void bench_report(const std::string& stem,
+                         const std::map<std::string, double>& values) {
+  const std::string dir = bench_json_dir();
+  if (dir.empty()) return;
+  static int counter = 0;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  char prefix[16];
+  std::snprintf(prefix, sizeof(prefix), "%03d_", counter++);
+  const std::string path = dir + "/" + prefix + stem + ".json";
+  std::string doc = "{\"schema\":\"sptrsv-bench/1\",\"point\":\"" + stem +
+                    "\",\"values\":{";
+  bool first = true;
+  for (const auto& [k, v] : values) {
+    char num[40];
+    std::snprintf(num, sizeof(num), "%.17g", v);
+    doc += (first ? "" : ",");
+    doc += "\"" + k + "\":" + num;
+    first = false;
+  }
+  doc += "}}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr ||
+      std::fwrite(doc.data(), 1, doc.size(), f) != doc.size() ||
+      std::fclose(f) != 0) {
+    std::fprintf(stderr, "warning: failed to write report %s\n", path.c_str());
+    if (f != nullptr) std::fclose(f);
+  }
+}
+
+/// Flattens a MetricsReport into per-name totals (sum over ranks), prefixed
+/// "metric." so bench headline numbers and registry counters don't collide.
+inline std::map<std::string, double> metric_totals(const MetricsReport& rep) {
+  std::map<std::string, double> out;
+  for (const auto& rank : rep.ranks) {
+    for (const auto& [name, v] : rank.values) out["metric." + name] += v;
+  }
+  return out;
+}
+
+/// Sweep-point report for the GPU discrete-event model: phase timings plus
+/// the per-GPU metric totals when GpuSolveConfig::metrics was on.
+inline void bench_report_gpu(const std::string& stem, const GpuSolveTimes& t) {
+  if (!bench_json_enabled()) return;
+  std::map<std::string, double> values;
+  if (t.metrics != nullptr) values = metric_totals(*t.metrics);
+  values["total"] = t.total;
+  values["l_solve"] = t.l_solve;
+  values["u_solve"] = t.u_solve;
+  values["z_comm"] = t.z_comm;
+  bench_report(stem, values);
 }
 
 /// Factorizes a paper matrix once and caches it across sweep points.
@@ -203,10 +279,17 @@ inline DistSolveOutcome run_cpu(const FactoredSystem& fs, const Grid3dShape& sha
                 clean > 0.0 ? 100.0 * rec.checkpoint_time / clean : 0.0,
                 recovery);
   }
-  maybe_dump_trace(out.run_stats.trace.get(),
-                   std::string(alg == Algorithm3d::kProposed ? "new" : "base") + "_" +
-                       std::to_string(shape.px) + "x" + std::to_string(shape.py) +
-                       "x" + std::to_string(shape.pz));
+  const std::string stem =
+      std::string(alg == Algorithm3d::kProposed ? "new" : "base") + "_" +
+      std::to_string(shape.px) + "x" + std::to_string(shape.py) + "x" +
+      std::to_string(shape.pz);
+  maybe_dump_trace(out.run_stats.trace.get(), stem);
+  if (bench_json_enabled() && out.run_stats.metrics != nullptr) {
+    std::map<std::string, double> values = metric_totals(*out.run_stats.metrics);
+    values["makespan"] = out.makespan;
+    values["fault_makespan"] = out.run_stats.fault_makespan();
+    bench_report(stem, values);
+  }
   return out;
 }
 

@@ -32,7 +32,10 @@ int main() {
     if ((gpus & (gpus - 1)) == 0 && gpus <= 64) {
       GpuSolveConfig cfg;
       cfg.shape = {1, 1, gpus};
-      today = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, crusher).total;
+      cfg.metrics = bench_json_enabled();
+      const auto res = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, crusher);
+      bench_report_gpu("today_1x1x" + std::to_string(gpus), res);
+      today = res.total;
     }
     // With subcommunicators: best Px in {1,2,4,8} x Pz split.
     double best = 1e300;
@@ -43,7 +46,11 @@ int main() {
       if ((pz & (pz - 1)) != 0 || pz > 64) continue;
       GpuSolveConfig cfg;
       cfg.shape = {px, 1, pz};
-      const double v = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, what_if).total;
+      cfg.metrics = bench_json_enabled();
+      const auto res = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, what_if);
+      bench_report_gpu("subcomm_" + std::to_string(px) + "x1x" + std::to_string(pz),
+                       res);
+      const double v = res.total;
       if (v < best) {
         best = v;
         best_px = px;

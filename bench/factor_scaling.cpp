@@ -50,6 +50,12 @@ int main() {
                  std::to_string(px * py), fmt_time(stats.makespan), sp,
                  fmt_time(stats.mean_fp), fmt_time(stats.mean_comm),
                  std::to_string(stats.total_messages)});
+      bench_report(paper_matrix_name(which) + "_" + std::to_string(px) + "x" +
+                       std::to_string(py),
+                   {{"makespan", stats.makespan},
+                    {"mean_fp", stats.mean_fp},
+                    {"mean_comm", stats.mean_comm},
+                    {"messages", static_cast<double>(stats.total_messages)}});
     }
     t.print();
   }

@@ -42,10 +42,16 @@ int main() {
         if (px > 4 && pz != 1) continue;  // paper confines puts to a node
         GpuSolveConfig cfg;
         cfg.shape = {px, 1, pz};
+        cfg.metrics = bench_json_enabled();
         cfg.backend = GpuBackend::kGpu;
         const auto gpu = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, machine);
         cfg.backend = GpuBackend::kCpu;
         const auto cpu = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, machine);
+        const std::string stem_tail = paper_matrix_name(which) + "_" +
+                                      std::to_string(px) + "x1x" +
+                                      std::to_string(pz);
+        bench_report_gpu("gpu_" + stem_tail, gpu);
+        bench_report_gpu("cpu_" + stem_tail, cpu);
         gpu_time[{px, pz}] = gpu.total;
         if (pz == 1) best_2d = std::min(best_2d, gpu.total);
         t.add_row({std::to_string(px), std::to_string(pz), std::to_string(px * pz),

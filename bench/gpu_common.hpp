@@ -32,6 +32,7 @@ inline void run_gpu_1x1xpz_figure(const char* figure, const MachineModel& machin
         cfg.shape = {1, 1, pz};
         cfg.nrhs = nrhs;
         cfg.trace = !bench_trace_dir().empty();
+        cfg.metrics = bench_json_enabled();
         cfg.backend = GpuBackend::kCpu;
         const auto cpu = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, machine);
         cfg.backend = GpuBackend::kGpu;
@@ -41,6 +42,8 @@ inline void run_gpu_1x1xpz_figure(const char* figure, const MachineModel& machin
                                       std::to_string(nrhs);
         maybe_dump_trace(cpu.trace.get(), "cpu_" + stem_tail);
         maybe_dump_trace(gpu.trace.get(), "gpu_" + stem_tail);
+        bench_report_gpu("cpu_" + stem_tail, cpu);
+        bench_report_gpu("gpu_" + stem_tail, gpu);
         const double speedup = cpu.total / gpu.total;
         best = std::max(best, speedup);
         t.add_row({std::to_string(pz), fmt_time(cpu.total), fmt_time(cpu.l_solve),

@@ -8,6 +8,7 @@
 #include <numeric>
 #include <random>
 
+#include "bench/bench_util.hpp"
 #include "comm/trees.hpp"
 #include "factor/dense.hpp"
 #include "sparse/generators.hpp"
@@ -126,7 +127,32 @@ void BM_SpmvReference(benchmark::State& state) {
 }
 BENCHMARK(BM_SpmvReference)->Arg(64)->Arg(192);
 
+// Console output plus one sptrsv-bench/1 JSON per benchmark when
+// SPTRSV_BENCH_JSON is set (bench_util.hpp).
+class ReportingConsole : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::string stem = run.benchmark_name();
+      for (char& c : stem) {
+        if (c == '/' || c == ':') c = '_';
+      }
+      bench::bench_report(stem, {{"real_time_ns", run.GetAdjustedRealTime()},
+                                 {"cpu_time_ns", run.GetAdjustedCPUTime()}});
+    }
+  }
+};
+
 }  // namespace
 }  // namespace sptrsv
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  sptrsv::ReportingConsole reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

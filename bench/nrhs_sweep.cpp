@@ -23,10 +23,15 @@ int main() {
     GpuSolveConfig cfg;
     cfg.shape = {1, 1, 16};
     cfg.nrhs = nrhs;
+    cfg.metrics = bench_json_enabled();
     cfg.backend = GpuBackend::kCpu;
-    const double cpu = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, machine).total;
+    const auto cpu_res = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, machine);
     cfg.backend = GpuBackend::kGpu;
-    const double gpu = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, machine).total;
+    const auto gpu_res = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, machine);
+    bench_report_gpu("cpu_r" + std::to_string(nrhs), cpu_res);
+    bench_report_gpu("gpu_r" + std::to_string(nrhs), gpu_res);
+    const double cpu = cpu_res.total;
+    const double gpu = gpu_res.total;
     if (nrhs == 1) {
       cpu1 = cpu;
       gpu1 = gpu;

@@ -35,6 +35,10 @@ int main() {
     std::snprintf(dens, sizeof(dens), "%.3f%%", 100.0 * density);
     t.add_row({paper_matrix_name(which), std::to_string(a.rows()),
                std::to_string(nnz_lu), dens, paper_matrix_description(which)});
+    bench_report(paper_matrix_name(which),
+                 {{"n", static_cast<double>(a.rows())},
+                  {"nnz_lu", static_cast<double>(nnz_lu)},
+                  {"density", density}});
   }
   t.print();
   return 0;

@@ -6,7 +6,7 @@
 ///              [--shape PXxPYxPZ] [--alg new|baseline] [--tree binary|flat]
 ///              [--machine cori|perlmutter|crusher] [--nrhs N]
 ///              [--backend cpu|gpu] [--refine] [--csv] [--trace FILE]
-///              [--crash R@T] [--mtbf SECONDS]
+///              [--metrics FILE] [--crash R@T] [--mtbf SECONDS]
 ///
 /// Examples:
 ///   sptrsv_cli --matrix s2D9pt2048 --shape 4x4x8 --alg new
@@ -41,9 +41,39 @@ namespace {
                "binary|flat]\n"
                "          [--machine cori|perlmutter|crusher] [--nrhs N]\n"
                "          [--backend cpu|gpu] [--refine] [--csv] [--trace FILE]\n"
-               "          [--crash R@T]... [--mtbf SECONDS]\n",
+               "          [--metrics FILE] [--crash R@T]... [--mtbf SECONDS]\n"
+               "\n"
+               "  --metrics FILE  enable the runtime metrics registry and write the\n"
+               "                  schema-versioned JSON report (sptrsv-metrics/1) to\n"
+               "                  FILE; a one-line summary prints on normal exit\n"
+               "\n"
+               "exit codes: 0 success, 1 numeric/IO failure, 2 usage,\n"
+               "            3 structured fault (FaultReport on stderr)\n",
                argv0);
   std::exit(2);
+}
+
+/// Writes `text` to `path`; false on any IO failure.
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  return std::fclose(f) == 0 && n == text.size();
+}
+
+/// One-line metrics digest: total messages/bytes over the four categories,
+/// transport retransmits and the slowest rank's accumulated receive wait.
+void print_metrics_summary(const MetricsReport& rep) {
+  const char* cats[] = {"fp", "xy", "z", "other"};
+  double msgs = 0, bytes = 0;
+  for (const char* c : cats) {
+    msgs += rep.total(std::string("cluster.messages.") + c);
+    bytes += rep.total(std::string("cluster.bytes.") + c);
+  }
+  std::printf("  metrics: messages=%.0f bytes=%.0f retransmits=%.0f "
+              "max_wait=%.3e s\n",
+              msgs, bytes, rep.total("transport.retransmits"),
+              rep.hist_sum_max("cluster.wait_time"));
 }
 
 CsrMatrix load_matrix(const std::string& name, MatrixScale scale) {
@@ -71,6 +101,7 @@ int main(int argc, char** argv) {
   Idx nrhs = 1;
   bool gpu = false, refine = false, csv = false;
   std::string trace_path;
+  std::string metrics_path;
   std::vector<PerturbationModel::Crash> crashes;
   double mtbf = 0.0;
 
@@ -108,6 +139,8 @@ int main(int argc, char** argv) {
       csv = true;
     } else if (a == "--trace") {
       trace_path = next();
+    } else if (a == "--metrics") {
+      metrics_path = next();
     } else if (a == "--crash") {
       PerturbationModel::Crash c;
       if (std::sscanf(next().c_str(), "%d@%lf", &c.rank, &c.vt) != 2) {
@@ -146,9 +179,14 @@ int main(int argc, char** argv) {
     cfg.nrhs = nrhs;
     cfg.backend = GpuBackend::kGpu;
     cfg.trace = !trace_path.empty();
+    cfg.metrics = !metrics_path.empty();
     const GpuSolveTimes t = simulate_solve_3d_gpu(fs.lu, fs.tree, cfg, machine);
     if (!trace_path.empty() && !t.trace->write_chrome_json_file(trace_path)) {
       std::fprintf(stderr, "failed to write trace %s\n", trace_path.c_str());
+      return 1;
+    }
+    if (cfg.metrics && !write_text_file(metrics_path, t.metrics->to_json())) {
+      std::fprintf(stderr, "failed to write metrics %s\n", metrics_path.c_str());
       return 1;
     }
     if (csv) {
@@ -159,6 +197,13 @@ int main(int argc, char** argv) {
       std::printf("GPU model on %s: total %.3e s (L %.3e, U %.3e, Z %.3e)\n",
                   machine.name.c_str(), t.total, t.l_solve, t.u_solve, t.z_comm);
     }
+    if (cfg.metrics) {
+      std::printf("  metrics: puts=%.0f bytes=%.0f tasks=%.0f\n",
+                  t.metrics->total("gpu.puts"),
+                  t.metrics->total("gpu.put_bytes.xy") +
+                      t.metrics->total("gpu.put_bytes.z"),
+                  t.metrics->total("gpu.tasks"));
+    }
     return 0;
   }
 
@@ -168,8 +213,14 @@ int main(int argc, char** argv) {
   cfg.tree = tree;
   cfg.nrhs = nrhs;
   cfg.run.trace = !trace_path.empty() && !refine;
+  cfg.run.metrics = !metrics_path.empty() && !refine;
 
   if (refine) {
+    if (!metrics_path.empty()) {
+      std::fprintf(stderr,
+                   "note: --metrics is ignored with --refine (the refinement "
+                   "result carries no per-solve run stats)\n");
+    }
     const RefinementResult r = iterative_refinement(a, fs, b, cfg, machine);
     if (csv) {
       std::printf("%s,%dx%dx%d,refine,%s,%d,%.6e,%d,%.3e\n", matrix.c_str(), shape.px,
@@ -191,6 +242,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to write trace %s\n", trace_path.c_str());
     return 1;
   }
+  if (cfg.run.metrics &&
+      !write_text_file(metrics_path, out.run_stats.metrics->to_json())) {
+    std::fprintf(stderr, "failed to write metrics %s\n", metrics_path.c_str());
+    return 1;
+  }
   const Real resid = relative_residual(a, out.x, b, nrhs);
   if (csv) {
     std::printf("%s,%dx%dx%d,%s,%s,%d,%.6e,%.3e\n", matrix.c_str(), shape.px, shape.py,
@@ -207,6 +263,7 @@ int main(int argc, char** argv) {
                 out.mean(&RankPhaseTimes::l_z) + out.mean(&RankPhaseTimes::z_time) +
                     out.mean(&RankPhaseTimes::u_z));
   }
+  if (cfg.run.metrics) print_metrics_summary(*out.run_stats.metrics);
   if (machine.perturb.crash_active()) {
     const RecoveryStats rec = out.run_stats.recovery_stats();
     std::printf(

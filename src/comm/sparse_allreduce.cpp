@@ -89,6 +89,18 @@ void sparse_allreduce(Comm& zcomm, const NdTree& tree,
   const int levels = tree.levels();
   const int z = zcomm.rank();
 
+  // Metric handles are null when RunOptions::metrics is off; add() is then a
+  // no-op. Counters live outside the clean ledger (docs/OBSERVABILITY.md).
+  const MetricsRegistry::Counter m_rexch = zcomm.metric_counter("zreduce.exchanges");
+  const MetricsRegistry::Counter m_rvals = zcomm.metric_counter("zreduce.values");
+  const MetricsRegistry::Counter m_bexch = zcomm.metric_counter("zbcast.exchanges");
+  const MetricsRegistry::Counter m_bvals = zcomm.metric_counter("zbcast.values");
+  const auto count_values = [](const std::vector<const ReduceSegment*>& shared) {
+    std::int64_t n = 0;
+    for (const auto* s : shared) n += static_cast<std::int64_t>(s->values.size());
+    return n;
+  };
+
   // Buddy checkpoint of the in-flight allreduce partials, cut after every
   // exchange level. Partials mutate in place (that is the whole point of
   // the reduction), so restore validation checks the layout only — every
@@ -135,6 +147,8 @@ void sparse_allreduce(Comm& zcomm, const NdTree& tree,
     if (shared.empty()) continue;
     const TraceSpan level_span = zcomm.annotate("zreduce", l);
     const int partner = z ^ (1 << l);
+    m_rexch.add();
+    m_rvals.add(count_values(shared));
     if (z & (1 << l)) {
       zcomm.send(partner, kTagSparseReduce, pack(shared), cat);
     } else {
@@ -153,6 +167,8 @@ void sparse_allreduce(Comm& zcomm, const NdTree& tree,
     if (shared.empty()) continue;
     const TraceSpan level_span = zcomm.annotate("zbcast", l);
     const int partner = z ^ (1 << l);
+    m_bexch.add();
+    m_bvals.add(count_values(shared));
     if (z & (1 << l)) {
       const Message m = zcomm.recv(partner, kTagSparseBcast, cat);
       unpack_replace(shared, m.data);
@@ -170,6 +186,8 @@ void sparse_allreduce(Comm& zcomm, const NdTree& tree,
 void dense_allreduce_per_node(Comm& zcomm, const NdTree& tree,
                               std::span<const ReduceSegment> segments, TimeCategory cat) {
   validate(zcomm, tree, segments);
+  const MetricsRegistry::Counter m_rounds = zcomm.metric_counter("zreduce.dense_rounds");
+  const MetricsRegistry::Counter m_rvals = zcomm.metric_counter("zreduce.values");
   try {
   // Every internal tracked node triggers one full-communicator allreduce.
   // Grids that do not share the node contribute zeros; node sizes are
@@ -184,6 +202,8 @@ void dense_allreduce_per_node(Comm& zcomm, const NdTree& tree,
     const auto n = static_cast<size_t>(len);
     if (n == 0) continue;
     const TraceSpan node_span = zcomm.annotate("dense_zreduce", static_cast<std::int64_t>(id));
+    m_rounds.add();
+    m_rvals.add(static_cast<std::int64_t>(n));
     std::vector<Real> contrib(n, 0.0);
     if (mine) std::copy(mine->values.begin(), mine->values.end(), contrib.begin());
     const std::vector<Real> sum = zcomm.allreduce_sum(contrib, cat);

@@ -31,6 +31,13 @@ LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_l
   const Idx nsup_window = static_cast<Idx>(lu.num_supernodes());
   const TraceSpan solve_span = grid.annotate("solve_l_2d", tag_base);
 
+  // Null handles (no-op add) unless RunOptions::metrics is on — the solver's
+  // contribution to the registry taxonomy (docs/OBSERVABILITY.md).
+  const MetricsRegistry::Counter m_rows = grid.metric_counter("solver2d.rows_completed");
+  const MetricsRegistry::Counter m_diag = grid.metric_counter("solver2d.diag_solves");
+  const MetricsRegistry::Counter m_bcast = grid.metric_counter("tree.bcast_sends");
+  const MetricsRegistry::Counter m_reduce = grid.metric_counter("tree.reduce_sends");
+
   LSolve2dResult result;
 
   // Per-row reduction state (only rows whose reduction tree I belong to).
@@ -83,6 +90,7 @@ LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_l
       // Span arg = my depth in the broadcast tree (relay stage number).
       const TraceSpan bcast_span = grid.annotate("l_bcast", t.depth_of(me));
       t.for_each_child(me, [&](int child) {
+        m_bcast.add();
         grid.send(child, tag_base + 4 * static_cast<int>(k) + kKindYsol,
                   std::vector<Real>(yk.begin(), yk.end()), cat);
       });
@@ -104,6 +112,7 @@ LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_l
   auto complete_row = [&](Idx rp) {
     const Idx i = plan.rows()[static_cast<size_t>(rp)];
     const TraceSpan row_span = grid.annotate("l_row", static_cast<std::int64_t>(i));
+    m_rows.add();
     const TreeView t = plan.l_reduce(rp);
     auto& st = rowstate.at(rp);
     // Reduce in plan order: carry-in first, then my blocks by ascending
@@ -140,6 +149,7 @@ LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_l
       for (size_t v = 0; v < st.lsum.size(); ++v) st.lsum[v] += partial[v];
     }
     if (t.root() != me) {
+      m_reduce.add();
       grid.send(t.parent_of(me), tag_base + 4 * static_cast<int>(i) + kKindLsum,
                 std::move(st.lsum), cat);
       return;
@@ -163,6 +173,7 @@ LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_l
     std::vector<Real> yk(static_cast<size_t>(w) * nrhs, 0.0);
     gemm_plus(w, w, nrhs, lu.diag_linv[static_cast<size_t>(i)], rhs, yk);
     grid.compute(plan.diag_flops(i, nrhs));
+    m_diag.add();
     const auto [it, inserted] = result.y.emplace(i, std::move(yk));
     assert(inserted);
     process_y(cp, it->second);
@@ -243,6 +254,12 @@ USolve2dResult solve_u_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& y_l
   const Idx nsup_window = static_cast<Idx>(lu.num_supernodes());
   const TraceSpan solve_span = grid.annotate("solve_u_2d", tag_base);
 
+  // Same taxonomy as the L-solve; counters aggregate across both phases.
+  const MetricsRegistry::Counter m_cols = grid.metric_counter("solver2d.cols_completed");
+  const MetricsRegistry::Counter m_diag = grid.metric_counter("solver2d.diag_solves");
+  const MetricsRegistry::Counter m_bcast = grid.metric_counter("tree.bcast_sends");
+  const MetricsRegistry::Counter m_reduce = grid.metric_counter("tree.reduce_sends");
+
   USolve2dResult result;
 
   // Per-column reduction state (columns whose U-reduction tree I'm in).
@@ -289,6 +306,7 @@ USolve2dResult solve_u_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& y_l
       // Span arg = my depth in the broadcast tree (relay stage number).
       const TraceSpan bcast_span = grid.annotate("u_bcast", t.depth_of(me));
       t.for_each_child(me, [&](int child) {
+        m_bcast.add();
         grid.send(child, tag_base + 4 * static_cast<int>(i) + kKindXsol,
                   std::vector<Real>(xi.begin(), xi.end()), cat);
       });
@@ -310,6 +328,7 @@ USolve2dResult solve_u_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& y_l
   auto complete_col = [&](Idx cp) {
     const Idx k = plan.cols()[static_cast<size_t>(cp)];
     const TraceSpan col_span = grid.annotate("u_col", static_cast<std::int64_t>(k));
+    m_cols.add();
     const TreeView t = plan.u_reduce(cp);
     auto& st = colstate.at(cp);
     // Reduce in plan order: my blocks by ascending row, then child partials
@@ -337,6 +356,7 @@ USolve2dResult solve_u_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& y_l
       for (size_t v = 0; v < st.usum.size(); ++v) st.usum[v] += partial[v];
     }
     if (t.root() != me) {
+      m_reduce.add();
       grid.send(t.parent_of(me), tag_base + 4 * static_cast<int>(k) + kKindUsum,
                 std::move(st.usum), cat);
       return;
@@ -355,6 +375,7 @@ USolve2dResult solve_u_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& y_l
     std::vector<Real> xk(static_cast<size_t>(w) * nrhs, 0.0);
     gemm_plus(w, w, nrhs, lu.diag_uinv[static_cast<size_t>(k)], rhs, xk);
     grid.compute(plan.diag_flops(k, nrhs));
+    m_diag.add();
     const auto [it, inserted] = result.x.emplace(k, std::move(xk));
     assert(inserted);
     process_x(plan.row_pos(k), it->second);

@@ -209,6 +209,7 @@ void run_proposed(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
   // ancestor solutions (Algorithm 2).
   try {
     const TraceSpan phase = world.annotate("phase:Z", z);
+    const MetricsRegistry::Counter m_segs = world.metric_counter("solver3d.zsegments");
     const auto path = tree.path_to_root(tree.leaf_node_id(z));
     std::vector<std::vector<Real>> node_bufs;
     std::vector<std::vector<Idx>> node_sns;
@@ -226,6 +227,7 @@ void run_proposed(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
       }
       segments.push_back({node, buf});
     }
+    m_segs.add(static_cast<std::int64_t>(segments.size()));
     if (ctx.cfg.sparse_zreduce) {
       sparse_allreduce(zline, tree, segments);
     } else {
@@ -285,6 +287,12 @@ void run_baseline(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
   const int me = grid.rank();
   const int levels = tree.levels();
 
+  // Null handles unless RunOptions::metrics is on. The baseline exchanges
+  // one message per replicated node per level; the counters make that
+  // contrast with the proposed algorithm's packed allreduce measurable.
+  const MetricsRegistry::Counter m_levels = world.metric_counter("solver3d.levels");
+  const MetricsRegistry::Counter m_zexch = world.metric_counter("solver3d.z_exchanges");
+
   // path[s] is my ancestor at depth levels-s; path[0] is my leaf.
   const auto path = tree.path_to_root(tree.leaf_node_id(z));
 
@@ -311,6 +319,7 @@ void run_baseline(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
   try {
   for (int s = 0; s <= levels; ++s) {
     const TraceSpan level_span = world.annotate("l_level", s);
+    m_levels.add();
     if (s > 0) {
       const int bit = 1 << (s - 1);
       const auto nodes = nodes_from_step(path, s);
@@ -319,6 +328,7 @@ void run_baseline(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
         // message per replicated node (the baseline predates the packed
         // sparse allreduce).
         for (const Idx node : nodes) {
+          m_zexch.add();
           zline.send(z - bit, ztag(kZTagLsum, s, node),
                      pack_pieces(lu, tree, shape, me, {&node, 1}, lsum_store),
                      TimeCategory::kZComm);
@@ -326,6 +336,7 @@ void run_baseline(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
         break;
       }
       for (const Idx node : nodes) {
+        m_zexch.add();
         const Message m =
             zline.recv(z + bit, ztag(kZTagLsum, s, node), TimeCategory::kZComm);
         unpack_pieces(lu, tree, shape, me, {&node, 1}, m.data, lsum_store, nrhs,
@@ -390,6 +401,7 @@ void run_baseline(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
       if (s > 0) {
         const int bit = 1 << (s - 1);
         for (const Idx node : nodes_from_step(path, s)) {
+          m_zexch.add();
           zline.send(z + bit, ztag(kZTagXsol, s, node),
                      pack_pieces(lu, tree, shape, me, {&node, 1}, x_store),
                      TimeCategory::kZComm);
@@ -398,6 +410,7 @@ void run_baseline(const SolveContext& ctx, Comm& world, Comm& grid, Comm& zline,
     } else if (s > 0 && z % group == (1 << (s - 1))) {
       const int bit = 1 << (s - 1);
       for (const Idx node : nodes_from_step(path, s)) {
+        m_zexch.add();
         const Message m =
             zline.recv(z - bit, ztag(kZTagXsol, s, node), TimeCategory::kZComm);
         unpack_pieces(lu, tree, shape, me, {&node, 1}, m.data, x_store, nrhs,

@@ -62,6 +62,47 @@ struct TraceSink {
   }
 };
 
+/// Per-world-GPU metric registries (GpuSolveConfig::metrics). Counter names
+/// follow the cluster runtime's taxonomy so bench reports aggregate CPU and
+/// GPU runs with the same keys (docs/OBSERVABILITY.md).
+struct MetricsSink {
+  std::vector<std::unique_ptr<MetricsRegistry>> regs;
+  struct Handles {
+    MetricsRegistry::Counter tasks, puts, put_bytes_xy, put_bytes_z;
+  };
+  std::vector<Handles> h;
+
+  explicit MetricsSink(int world) {
+    regs.reserve(static_cast<size_t>(world));
+    h.resize(static_cast<size_t>(world));
+    for (int r = 0; r < world; ++r) {
+      auto reg = std::make_unique<MetricsRegistry>();
+      Handles& hh = h[static_cast<size_t>(r)];
+      hh.tasks = reg->counter("gpu.tasks");
+      hh.puts = reg->counter("gpu.puts");
+      hh.put_bytes_xy = reg->counter("gpu.put_bytes.xy");
+      hh.put_bytes_z = reg->counter("gpu.put_bytes.z");
+      regs.push_back(std::move(reg));
+    }
+  }
+
+  void task(int grank) { h[static_cast<size_t>(grank)].tasks.add(); }
+  void put(int src, std::int64_t bytes, TimeCategory cat) {
+    Handles& hh = h[static_cast<size_t>(src)];
+    hh.puts.add();
+    (cat == TimeCategory::kZComm ? hh.put_bytes_z : hh.put_bytes_xy).add(bytes);
+  }
+
+  std::shared_ptr<const MetricsReport> report() const {
+    auto rep = std::make_shared<MetricsReport>();
+    rep->ranks.resize(regs.size());
+    for (size_t r = 0; r < regs.size(); ++r) {
+      rep->ranks[r].values = regs[r]->values();
+    }
+    return rep;
+  }
+};
+
 /// Min-heap of SM slot free times for one GPU.
 class SlotHeap {
  public:
@@ -113,7 +154,8 @@ enum class Phase { kL, kU };
 std::vector<double> run_phase(const Solve2dPlan& plan, Phase phase, Idx nrhs,
                               const GpuExecModel& exec, const GpuFabric& fabric,
                               int gpu_base, std::span<const double> t0,
-                              GpuScheduleMode mode, TraceSink* sink) {
+                              GpuScheduleMode mode, TraceSink* sink,
+                              MetricsSink* msink) {
   const char* const task_label = phase == Phase::kL ? "l_task" : "u_task";
   const auto& lu = plan.lu();
   const auto& part = lu.sym.part;
@@ -211,6 +253,7 @@ std::vector<double> run_phase(const Solve2dPlan& plan, Phase phase, Idx nrhs,
         slots[static_cast<size_t>(g)].release(end);
         finish[static_cast<size_t>(g)] = std::max(finish[static_cast<size_t>(g)], end);
         if (sink) sink->task(gpu_base + g, start, end, task_label, static_cast<int>(k));
+        if (msink) msink->task(gpu_base + g);
         const double send_at =
             is_diag ? start + exec.task_time(t.diag_flops, nrhs) : start;
         bcast.for_each_child(g, [&](int child) {
@@ -220,6 +263,10 @@ std::vector<double> run_phase(const Solve2dPlan& plan, Phase phase, Idx nrhs,
           if (sink) {
             sink->put(gpu_base + g, gpu_base + child, send_at, arrive,
                       static_cast<std::int64_t>(bytes), TimeCategory::kXyComm);
+          }
+          if (msink) {
+            msink->put(gpu_base + g, static_cast<std::int64_t>(bytes),
+                       TimeCategory::kXyComm);
           }
         });
         // Feed my local rows'/columns' diagonal readiness.
@@ -274,6 +321,7 @@ std::vector<double> run_phase(const Solve2dPlan& plan, Phase phase, Idx nrhs,
     const auto [start, end] = slots[static_cast<size_t>(g)].schedule(ready, dur);
     finish[static_cast<size_t>(g)] = std::max(finish[static_cast<size_t>(g)], end);
     if (sink) sink->task(gpu_base + g, start, end, task_label, static_cast<int>(k));
+    if (msink) msink->task(gpu_base + g);
 
     // Forward the solution down the broadcast tree. The diagonal task has
     // the value only after its inverse-apply; a relay forwards as soon as
@@ -285,6 +333,10 @@ std::vector<double> run_phase(const Solve2dPlan& plan, Phase phase, Idx nrhs,
       if (sink) {
         sink->put(gpu_base + g, gpu_base + child, send_at, arrival,
                   static_cast<std::int64_t>(bytes), TimeCategory::kXyComm);
+      }
+      if (msink) {
+        msink->put(gpu_base + g, static_cast<std::int64_t>(bytes),
+                   TimeCategory::kXyComm);
       }
       on_contribution(child, cp, arrival);
     });
@@ -363,6 +415,8 @@ GpuSolveTimes simulate_solve_3d_gpu(const SupernodalLU& lu, const NdTree& tree,
   out.u_finish.assign(static_cast<size_t>(world), 0.0);
   std::unique_ptr<TraceSink> sink;
   if (cfg.trace) sink = std::make_unique<TraceSink>(world);
+  std::unique_ptr<MetricsSink> msink;
+  if (cfg.metrics) msink = std::make_unique<MetricsSink>(world);
 
   // ---- L phase: independent per grid. ----
   std::vector<std::vector<double>> clock(static_cast<size_t>(shape.pz));
@@ -371,7 +425,7 @@ GpuSolveTimes simulate_solve_3d_gpu(const SupernodalLU& lu, const NdTree& tree,
     clock[static_cast<size_t>(z)] = run_phase(plans[static_cast<size_t>(z)], Phase::kL,
                                               cfg.nrhs, exec, fabric,
                                               /*gpu_base=*/z * shape.px, t0,
-                                              cfg.schedule, sink.get());
+                                              cfg.schedule, sink.get(), msink.get());
     for (int g = 0; g < shape.px; ++g) {
       out.l_finish[static_cast<size_t>(z * shape.px + g)] =
           clock[static_cast<size_t>(z)][static_cast<size_t>(g)];
@@ -408,6 +462,10 @@ GpuSolveTimes simulate_solve_3d_gpu(const SupernodalLU& lu, const NdTree& tree,
           sink->put(hi * shape.px + g, z * shape.px + g, hi_c, hi_c + cost,
                     static_cast<std::int64_t>(lvl_bytes), TimeCategory::kZComm);
         }
+        if (msink) {
+          msink->put(hi * shape.px + g, static_cast<std::int64_t>(lvl_bytes),
+                     TimeCategory::kZComm);
+        }
         lo_c = std::max(lo_c, hi_c + cost);
       }
     }
@@ -422,6 +480,10 @@ GpuSolveTimes simulate_solve_3d_gpu(const SupernodalLU& lu, const NdTree& tree,
         if (sink) {
           sink->put(z * shape.px + g, hi * shape.px + g, lo_c, lo_c + cost,
                     static_cast<std::int64_t>(lvl_bytes), TimeCategory::kZComm);
+        }
+        if (msink) {
+          msink->put(z * shape.px + g, static_cast<std::int64_t>(lvl_bytes),
+                     TimeCategory::kZComm);
         }
         hi_c = std::max(hi_c, lo_c + cost);
       }
@@ -438,7 +500,7 @@ GpuSolveTimes simulate_solve_3d_gpu(const SupernodalLU& lu, const NdTree& tree,
   for (int z = 0; z < shape.pz; ++z) {
     const auto fin = run_phase(plans[static_cast<size_t>(z)], Phase::kU, cfg.nrhs, exec,
                                fabric, z * shape.px, clock[static_cast<size_t>(z)],
-                               cfg.schedule, sink.get());
+                               cfg.schedule, sink.get(), msink.get());
     for (int g = 0; g < shape.px; ++g) {
       out.u_finish[static_cast<size_t>(z * shape.px + g)] =
           fin[static_cast<size_t>(g)];
@@ -466,6 +528,7 @@ GpuSolveTimes simulate_solve_3d_gpu(const SupernodalLU& lu, const NdTree& tree,
     }
     out.trace = std::make_shared<const Trace>(Trace::build(std::move(sink->ranks)));
   }
+  if (msink) out.metrics = msink->report();
   return out;
 }
 

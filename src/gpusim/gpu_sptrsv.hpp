@@ -19,6 +19,7 @@
 #include "dist/layout.hpp"
 #include "factor/supernodal_lu.hpp"
 #include "gpusim/gpu_model.hpp"
+#include "metrics/metrics.hpp"
 #include "ordering/nested_dissection.hpp"
 #include "runtime/machine.hpp"
 
@@ -57,6 +58,10 @@ struct GpuSolveConfig {
   /// sim's task slices overlap (SM slots), so the trace is export-only:
   /// Trace::contiguous() is false and critical_path() refuses it.
   bool trace = false;
+  /// Build GpuSolveTimes::metrics: per-world-GPU counters (tasks, puts,
+  /// put bytes by category) in the same registry taxonomy as the cluster
+  /// runtime. Like the trace flag, it never changes modeled timings.
+  bool metrics = false;
 };
 
 /// Modeled timings (seconds), makespan-style (max over GPUs/ranks).
@@ -70,6 +75,9 @@ struct GpuSolveTimes {
   std::vector<double> u_finish;
   /// Event trace (Perfetto export only); non-null iff GpuSolveConfig::trace.
   std::shared_ptr<const Trace> trace;
+  /// Per-GPU metrics report; non-null iff GpuSolveConfig::metrics. No time
+  /// series (the sim has no sampling clock): final values only.
+  std::shared_ptr<const MetricsReport> metrics;
 };
 
 /// Runs the discrete-event model and returns the phase timings. Enforces

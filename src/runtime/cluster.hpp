@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "metrics/metrics.hpp"
 #include "runtime/machine.hpp"
 #include "sparse/types.hpp"
 
@@ -134,6 +135,16 @@ struct RunOptions {
   /// Deterministic mode only; the pointed-to certificate must outlive the
   /// run. Grants out of range for `nranks` throw std::invalid_argument.
   const ScheduleCertificate* replay_schedule = nullptr;
+  /// Maintain the per-rank MetricsRegistry (docs/OBSERVABILITY.md §Metrics)
+  /// and publish the merged MetricsReport as Cluster::Result::metrics.
+  /// Like tracing, metrics sit outside the clean ledger: enabling them
+  /// changes no clock bit, fingerprint, message count or trace byte.
+  bool metrics = false;
+  /// Virtual-time sampling period (seconds on the modeled clock) for the
+  /// metrics time series; 0 = no series, final snapshot only. Requires
+  /// `metrics`; samples land on the fixed grid k * metrics_period, so the
+  /// series is schedule- and thread-timing-independent.
+  double metrics_period = 0.0;
 };
 
 /// A received message.
@@ -322,6 +333,19 @@ class Comm {
   /// returned object is destroyed. No-op unless RunOptions::trace is set.
   TraceSpan annotate(const char* label, std::int64_t arg = -1) const;
 
+  // --- metrics (docs/OBSERVABILITY.md §Metrics; no-ops unless
+  // RunOptions::metrics) ---
+  /// Find-or-register a counter in this rank's registry. Returns a
+  /// null-safe handle: register once outside the loop, bump inside it —
+  /// the bump never allocates. With metrics off the handle is null and
+  /// add() is one branch.
+  MetricsRegistry::Counter metric_counter(const char* name) const;
+  /// Find-or-register a gauge (point-in-time double).
+  MetricsRegistry::Gauge metric_gauge(const char* name) const;
+  /// Find-or-register a fixed-bucket histogram; `bounds` must ascend.
+  MetricsRegistry::Histogram metric_histogram(
+      const char* name, std::span<const double> bounds) const;
+
  private:
   friend class Cluster;
   friend class detail::CommGroup;
@@ -384,6 +408,10 @@ class Cluster {
     /// reproduce this exact interleaving — docs/TESTING.md shows the
     /// one-liner.
     ScheduleCertificate schedule;
+    /// Merged per-rank metrics; non-null iff RunOptions::metrics was set.
+    /// Built even for a faulted run (the counters up to the abort are the
+    /// post-mortem evidence).
+    std::shared_ptr<const MetricsReport> metrics;
     bool ok() const { return error.empty(); }
     /// Modeled solve makespan: max vtime over ranks.
     double makespan() const;

@@ -31,6 +31,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "runtime/perturbation.hpp"
 #include "sparse/types.hpp"
@@ -110,6 +111,13 @@ struct FaultReport {
   int retries = 0;     ///< retransmissions spent before giving up
   double vt = 0.0;     ///< observer's clean virtual clock at detection
   std::string detail;  ///< human-readable context ("waiting on (src,tag)", phase)
+  /// Flight-recorder dump: each rank's bounded ring of recent runtime
+  /// events (sends, receive waits, collectives, crashes), formatted one
+  /// line per entry as "rank R: ...". Attached by the cluster runtime when
+  /// the run terminates on a fault/deadlock/crash, so a failed run is
+  /// diagnosable post-mortem (docs/OBSERVABILITY.md §Flight recorder).
+  /// Not part of to_string() — the report stays one-line loggable.
+  std::vector<std::string> flight;
 
   std::string to_string() const;
 };

@@ -52,6 +52,33 @@ std::string us(double seconds) {
   return buf;
 }
 
+/// JSON string escaping for names that reach the export via %s. Annotation
+/// labels are caller-chosen, so a quote or backslash in one must not break
+/// the document. Identity for plain labels — the byte-identical-export
+/// pins rely on that.
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Trace Trace::build(std::vector<RankTrace> ranks) {
@@ -227,7 +254,8 @@ void Trace::write_chrome_json(std::ostream& os, bool fault_ledger) const {
       std::snprintf(buf, sizeof(buf),
                     "{\"ph\":\"X\",\"pid\":0,\"tid\":%zu,\"ts\":%s,\"dur\":%s,"
                     "\"name\":\"%s\",\"cat\":\"span\",\"args\":{\"arg\":%lld}}",
-                    r, us(sp.t0).c_str(), us(sp.t1 - sp.t0).c_str(), sp.label,
+                    r, us(sp.t0).c_str(), us(sp.t1 - sp.t0).c_str(),
+                    json_escape(sp.label).c_str(),
                     static_cast<long long>(sp.arg));
       emit(buf);
     }
@@ -279,8 +307,8 @@ void Trace::write_chrome_json(std::ostream& os, bool fault_ledger) const {
       std::snprintf(buf, sizeof(buf),
                     "{\"ph\":\"X\",\"pid\":0,\"tid\":%zu,\"ts\":%s,\"dur\":%s,"
                     "\"name\":\"%s\",\"cat\":\"%s\"%s}",
-                    r, us(e.t0).c_str(), us(e.t1 - e.t0).c_str(), name,
-                    cat_name(e.cat), args.c_str());
+                    r, us(e.t0).c_str(), us(e.t1 - e.t0).c_str(),
+                    json_escape(name).c_str(), cat_name(e.cat), args.c_str());
       emit(buf);
     }
     if (fault_ledger) {
@@ -292,7 +320,7 @@ void Trace::write_chrome_json(std::ostream& os, bool fault_ledger) const {
                       "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%zu,"
                       "\"ts\":%s,\"name\":\"%s\",\"cat\":\"recovery\","
                       "\"args\":{\"arg\":%lld}}",
-                      r, us(m.t).c_str(), m.label,
+                      r, us(m.t).c_str(), json_escape(m.label).c_str(),
                       static_cast<long long>(m.arg));
         emit(buf);
       }

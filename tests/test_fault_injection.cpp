@@ -433,6 +433,25 @@ TEST(Watchdog, CyclicWaitReportNamesEveryWaitingPair) {
           << "det=" << det << ": report does not name rank " << r
           << "'s wait; detail: " << res.fault.detail;
     }
+    // Post-mortem flight recorder (docs/OBSERVABILITY.md): the dump rides
+    // on the report and must also name every member's parked receive —
+    // recv waits are recorded *before* parking exactly so a wedged rank
+    // still appears.
+    ASSERT_FALSE(res.fault.flight.empty()) << "det=" << det;
+    for (int r = 0; r < kP; ++r) {
+      char expect[64];
+      std::snprintf(expect, sizeof(expect), "recv-wait(src=%d, tags[%d,%d))",
+                    (r + 1) % kP, 40 + r, 41 + r);
+      bool found = false;
+      for (const std::string& line : res.fault.flight) {
+        if (line.rfind("rank " + std::to_string(r) + ":", 0) == 0 &&
+            line.find(expect) != std::string::npos) {
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << "det=" << det << ": flight dump does not name rank "
+                         << r << "'s wait";
+    }
   }
 }
 

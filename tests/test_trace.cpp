@@ -183,6 +183,71 @@ INSTANTIATE_TEST_SUITE_P(RandomSystems, TraceProperty,
                          });
 
 // ---------------------------------------------------------------------------
+// The Perfetto export escapes names — a hostile span label must not be able
+// to break the JSON document.
+// ---------------------------------------------------------------------------
+
+/// Minimal structural JSON check: strings balance (honoring backslash
+/// escapes) and every {[ has its ]}; enough to catch an unescaped quote
+/// cutting the document in half.
+bool json_well_formed(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(TraceExport, SpanNamesAreJsonEscaped) {
+  // Label with an embedded quote and a trailing backslash: unescaped,
+  // either one corrupts the document.
+  static const char kHostile[] = "he\"llo\\";
+  const auto res = Cluster::run(
+      1, test_machine(),
+      [](Comm& c) {
+        const TraceSpan span = c.annotate(kHostile, 7);
+        c.compute(1e3);
+      },
+      kDetTraced);
+  ASSERT_NE(res.trace, nullptr);
+  const std::string json = res.trace->chrome_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  // The escaped form appears; the raw form (quote not preceded by a
+  // backslash) must not.
+  EXPECT_NE(json.find("he\\\"llo\\\\"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"he\""), std::string::npos) << json;
+}
+
+TEST(TraceExport, PlainLabelsExportByteIdenticallyToBefore) {
+  // The escaper is the identity on ordinary labels — pinned so the
+  // byte-identical-JSON determinism guarantee keeps covering old traces.
+  const auto res = Cluster::run(
+      1, test_machine(),
+      [](Comm& c) {
+        const TraceSpan span = c.annotate("plain_label.v1", 3);
+        c.compute(1e3);
+      },
+      kDetTraced);
+  const std::string json = res.trace->chrome_json();
+  EXPECT_NE(json.find("\"plain_label.v1\""), std::string::npos);
+  EXPECT_TRUE(json_well_formed(json));
+}
+
+// ---------------------------------------------------------------------------
 // Span histograms and the Result aggregation helpers.
 // ---------------------------------------------------------------------------
 
@@ -203,6 +268,47 @@ TEST(TraceAnalysis, WaitBySpanBaselineLevels) {
     EXPECT_GE(wait, 0.0);
   }
   EXPECT_TRUE(out.run_stats.trace->wait_by_span("no_such_label").empty());
+}
+
+TEST(TraceAnalysis, SpreadDegenerateInputs) {
+  // Empty: all-zero summary, and imbalance() must not divide by zero.
+  const Spread none = spread_over({});
+  EXPECT_DOUBLE_EQ(none.min, 0.0);
+  EXPECT_DOUBLE_EQ(none.mean, 0.0);
+  EXPECT_DOUBLE_EQ(none.p50, 0.0);
+  EXPECT_DOUBLE_EQ(none.p99, 0.0);
+  EXPECT_DOUBLE_EQ(none.max, 0.0);
+  EXPECT_DOUBLE_EQ(none.imbalance(), 0.0);
+
+  // Single rank: every statistic is that value; perfectly balanced.
+  const std::vector<double> one{3.5};
+  const Spread single = spread_over(one);
+  EXPECT_DOUBLE_EQ(single.min, 3.5);
+  EXPECT_DOUBLE_EQ(single.mean, 3.5);
+  EXPECT_DOUBLE_EQ(single.p50, 3.5);
+  EXPECT_DOUBLE_EQ(single.p99, 3.5);
+  EXPECT_DOUBLE_EQ(single.max, 3.5);
+  EXPECT_DOUBLE_EQ(single.imbalance(), 1.0);
+
+  // All-equal: percentiles collapse to the common value, imbalance exactly 1.
+  const std::vector<double> flat{2.0, 2.0, 2.0, 2.0, 2.0};
+  const Spread eq = spread_over(flat);
+  EXPECT_DOUBLE_EQ(eq.min, 2.0);
+  EXPECT_DOUBLE_EQ(eq.p50, 2.0);
+  EXPECT_DOUBLE_EQ(eq.p99, 2.0);
+  EXPECT_DOUBLE_EQ(eq.max, 2.0);
+  EXPECT_DOUBLE_EQ(eq.imbalance(), 1.0);
+
+  // All-zero ranks (a run that never computes): mean 0 -> imbalance 0, the
+  // documented "no load at all" convention.
+  const std::vector<double> zeros{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(spread_over(zeros).imbalance(), 0.0);
+
+  // A zero-work cluster run reports the same degenerate spreads.
+  const auto res = Cluster::run(1, test_machine(), [](Comm&) {},
+                                RunOptions{.deterministic = true});
+  EXPECT_DOUBLE_EQ(res.vtime_spread().imbalance(), 0.0);
+  EXPECT_DOUBLE_EQ(res.category_spread(TimeCategory::kFp).max, 0.0);
 }
 
 TEST(TraceAnalysis, SpreadHelpers) {
