@@ -79,6 +79,19 @@ inline double bench_crash_mtbf() {
   return std::atof(v);
 }
 
+/// SPTRSV_BENCH_SDC=<rate> injects silent memory faults (bit flips in live
+/// solver state) as a Poisson process with the given per-rank rate per
+/// virtual second, and arms ABFT so every flip is detected and corrected
+/// in place (docs/ROBUSTNESS.md, SDC section). The printed tables are
+/// unchanged; each sweep point adds a `# sdc:` line with the fault counts
+/// and the ABFT overhead on the fault clock, and the SPTRSV_BENCH_JSON
+/// reports carry the metric.abft.* totals.
+inline double bench_sdc_rate() {
+  const char* v = std::getenv("SPTRSV_BENCH_SDC");
+  if (v == nullptr || v[0] == '\0') return 0.0;
+  return std::atof(v);
+}
+
 /// SPTRSV_BENCH_DETERMINISTIC=1 runs every solve in the deterministic
 /// scheduler mode: slower (ranks serialize on the run token), but two runs
 /// of a bench print byte-identical tables (docs/DETERMINISM.md).
@@ -118,6 +131,12 @@ inline void print_mode_banner() {
         "# crash-stop: mtbf=%.3e s/rank, buddy-checkpoint recovery "
         "(tables unchanged; recovery overhead per sweep point)\n",
         mtbf);
+  }
+  if (const double rate = bench_sdc_rate(); rate > 0.0) {
+    std::printf(
+        "# sdc: rate=%.3e faults/s/rank, ABFT detect+correct "
+        "(tables unchanged; verification overhead per sweep point)\n",
+        rate);
   }
 }
 
@@ -243,6 +262,10 @@ inline DistSolveOutcome run_cpu(const FactoredSystem& fs, const Grid3dShape& sha
   if (const double drop = bench_fault_drop(); drop > 0.0) {
     m.perturb.drop_prob = drop;
   }
+  if (const double rate = bench_sdc_rate(); rate > 0.0) {
+    m.perturb.sdc_rate = rate;
+    cfg.run.abft = true;  // flips are corrected: tables stay unchanged
+  }
   if (const double mtbf = bench_crash_mtbf(); mtbf > 0.0) {
     m.perturb.crash_mtbf = mtbf;
     // A sweep wants overhead lines, not unrecoverable-verdict demos (the
@@ -278,6 +301,20 @@ inline DistSolveOutcome run_cpu(const FactoredSystem& fs, const Grid3dShape& sha
                 static_cast<long long>(rec.checkpoint_bytes),
                 clean > 0.0 ? 100.0 * rec.checkpoint_time / clean : 0.0,
                 recovery);
+  }
+  if (bench_sdc_rate() > 0.0) {
+    const SdcStats s = out.run_stats.sdc_stats();
+    const double clean = out.run_stats.makespan();
+    const double overhead = s.verify_time + s.repair_time;
+    std::printf("# sdc: injected=%lld detected=%lld corrected=%lld "
+                "(escalated=%lld), checks=%lld, abft overhead %.3e s "
+                "(+%.2f%% of makespan)\n",
+                static_cast<long long>(s.injected),
+                static_cast<long long>(s.detected),
+                static_cast<long long>(s.corrected),
+                static_cast<long long>(s.escalated),
+                static_cast<long long>(s.checks), overhead,
+                clean > 0.0 ? 100.0 * overhead / clean : 0.0);
   }
   const std::string stem =
       std::string(alg == Algorithm3d::kProposed ? "new" : "base") + "_" +

@@ -136,6 +136,14 @@ void sparse_allreduce(Comm& zcomm, const NdTree& tree,
           }
           pos += 2 + len;
         }
+      },
+      // Live words a memory fault can land in: the in-flight partial sums,
+      // in segment order (already deterministic — no map iteration here).
+      [&] {
+        std::vector<std::span<Real>> spans;
+        spans.reserve(segments.size());
+        for (const auto& s : segments) spans.push_back(s.values);
+        return spans;
       });
 
   try {

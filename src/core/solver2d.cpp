@@ -188,7 +188,8 @@ LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_l
       [&] { return checkpoint_pack(result.y, static_cast<double>(expected)); },
       [&](const CheckpointImage& img) {
         checkpoint_verify(img, result.y, "solve_l_2d");
-      });
+      },
+      [&] { return sdc_spans(result.y); });
   Idx next_mark = 1;
 
   auto drain = [&] {
@@ -388,7 +389,8 @@ USolve2dResult solve_u_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& y_l
       [&] { return checkpoint_pack(result.x, static_cast<double>(expected)); },
       [&](const CheckpointImage& img) {
         checkpoint_verify(img, result.x, "solve_u_2d");
-      });
+      },
+      [&] { return sdc_spans(result.x); });
   Idx next_mark = 1;
 
   auto drain = [&] {

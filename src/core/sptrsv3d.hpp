@@ -93,4 +93,28 @@ DistSolveOutcome solve_sptrsv_3d(const SupernodalLU& lu, const NdTree& tree,
 DistSolveOutcome solve_system_3d(const FactoredSystem& fs, std::span<const Real> b,
                                  const SolveConfig& cfg, const MachineModel& machine);
 
+/// Outcome of a residual-verified solve (docs/ROBUSTNESS.md §SDC).
+struct VerifiedSolveOutcome {
+  DistSolveOutcome solve;     ///< the accepted (possibly repaired) solve
+  Real residual = 0.0;        ///< relative max-norm residual of solve.x
+  bool repaired = false;      ///< degraded-mode refinement repair engaged
+  Idx repair_iterations = 0;  ///< refinement iterations the repair spent
+};
+
+/// solve_system_3d plus the end-of-solve verification gate: evaluates the
+/// relative max-norm residual ||A x - b||_inf / ||b||_inf against
+/// MachineModel::abft.residual_tol, pricing the check onto the fault ledger
+/// (each rank's 1/P share of the SpMV plus a max-reduce tree — the clean
+/// ledger never moves). A residual above the gate means silent corruption
+/// survived the solve (ABFT off, or an uncorrectable fault): with
+/// RunOptions::sdc_repair the solve degrades gracefully into iterative
+/// refinement (iterations and modeled cost recorded on the SdcStats ledger);
+/// otherwise a structured FaultError with FaultKind::kSilentCorruption is
+/// thrown. `a` is the original matrix in original row order, `b` likewise.
+VerifiedSolveOutcome solve_system_3d_verified(const CsrMatrix& a,
+                                              const FactoredSystem& fs,
+                                              std::span<const Real> b,
+                                              const SolveConfig& cfg,
+                                              const MachineModel& machine);
+
 }  // namespace sptrsv

@@ -62,6 +62,15 @@ struct GpuSolveConfig {
   /// put bytes by category) in the same registry taxonomy as the cluster
   /// runtime. Like the trace flag, it never changes modeled timings.
   bool metrics = false;
+  /// Analytic ABFT accounting (docs/ROBUSTNESS.md §SDC): charge per-phase
+  /// checksum verification (and correction of any scheduled memory faults)
+  /// into GpuSolveTimes::sdc / abft_overhead. The GPU sim has no mutable
+  /// numeric state, so SDC here is pure cost/ledger modeling — the clean
+  /// phase timings are never touched.
+  bool abft = false;
+  /// Seed for the memory-fault plan (same salted kMemStreamSalt stream as
+  /// the CPU runtime, keyed by world GPU rank).
+  std::uint64_t seed = 0;
 };
 
 /// Modeled timings (seconds), makespan-style (max over GPUs/ranks).
@@ -78,6 +87,12 @@ struct GpuSolveTimes {
   /// Per-GPU metrics report; non-null iff GpuSolveConfig::metrics. No time
   /// series (the sim has no sampling clock): final values only.
   std::shared_ptr<const MetricsReport> metrics;
+  /// SDC/ABFT ledger totals over all world GPUs (GpuSolveConfig::abft or an
+  /// armed PerturbationModel SDC schedule); all zero otherwise.
+  SdcStats sdc;
+  /// Worst per-GPU ABFT verification + correction time — the fault-side
+  /// makespan overhead. Never added to l_solve/z_comm/u_solve/total.
+  double abft_overhead = 0;
 };
 
 /// Runs the discrete-event model and returns the phase timings. Enforces

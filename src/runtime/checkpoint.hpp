@@ -26,6 +26,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -186,6 +187,22 @@ std::vector<Real> checkpoint_pack(const Map& m, double cursor) {
     out.insert(out.end(), v.begin(), v.end());
   }
   return out;
+}
+
+/// Deterministic span exposure of an (index -> value-vector) map for the SDC
+/// layer (Comm::SdcStateFn): one span per entry, keys visited in sorted
+/// order, so the flat word index a memory-fault plan draws into is invariant
+/// under hash-map iteration order (docs/ROBUSTNESS.md §SDC).
+template <class Map>
+std::vector<std::span<Real>> sdc_spans(Map& m) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(m.size());
+  for (const auto& kv : m) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  std::vector<std::span<Real>> spans;
+  spans.reserve(keys.size());
+  for (const auto k : keys) spans.push_back(std::span<Real>(m.at(k)));
+  return spans;
 }
 
 /// Restore-side validation for checkpoint_pack images. In the analytic crash

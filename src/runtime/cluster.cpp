@@ -152,13 +152,18 @@ struct RankCtx {
     MetricsRegistry::Counter ckpt_bytes;
     MetricsRegistry::Counter crashes;
     MetricsRegistry::Counter recovery_sweeps;
+    MetricsRegistry::Counter abft_checks;
+    MetricsRegistry::Counter abft_injected;
+    MetricsRegistry::Counter abft_detected;
+    MetricsRegistry::Counter abft_corrected;
   } mh;
 
   // --- flight recorder (always on, allocation-free; dumped into
   // FaultReport::flight when a run dies — docs/OBSERVABILITY.md) ---
   struct FlightEntry {
     enum Kind : int {
-      kNone = 0, kSend, kRecvWait, kRecvDone, kCollective, kCrash, kCheckpoint
+      kNone = 0, kSend, kRecvWait, kRecvDone, kCollective, kCrash, kCheckpoint,
+      kSdc
     };
     Kind kind = kNone;
     int peer = -1;          ///< dst/src global rank (-1 wildcard/none)
@@ -206,8 +211,18 @@ struct RankCtx {
     const char* label;
     std::function<std::vector<Real>()> capture;
     std::function<void(const CheckpointImage&)> restore;
+    std::function<std::vector<std::span<Real>>()> sdc_state;
   };
   std::vector<CheckpointHook> hooks;
+
+  // --- silent data corruption + ABFT (docs/ROBUSTNESS.md §SDC) ---
+  /// This rank's slice of the memory-fault plan (null = no SDC schedule).
+  const std::vector<SdcEvent>* sdc_events = nullptr;
+  std::size_t sdc_idx = 0;       ///< next unfired event (re-armed by
+                                 ///< reset_clock: fault times are interpreted
+                                 ///< on the post-reset clock)
+  bool abft = false;             ///< RunOptions::abft
+  SdcStats sdc;                  ///< ABFT/SDC ledger (fault side)
 
   /// Advances both clocks in lockstep (identical arithmetic keeps fvt
   /// bitwise equal to vt while no faults intervene); receive/collective
@@ -316,6 +331,104 @@ struct RankCtx {
       if (tracing) {
         trace.marks.push_back({"crash", t, static_cast<std::int64_t>(ev.spare)});
         trace.marks.push_back({"restore", t + delay, img ? img->epoch : -1});
+      }
+    }
+  }
+
+  /// Fires at every checkpoint epoch while an SDC schedule or ABFT is
+  /// active: lands every armed memory fault the clean clock has passed as a
+  /// bit flip in the innermost hook's live solver state, then (with ABFT on)
+  /// charges the epoch checksum verification, localizes each flipped word
+  /// and recomputes it from retained inputs — in the analytic model the
+  /// recomputed value is exactly the journaled pre-fault bits, so downstream
+  /// state, the clean clock and every clean counter stay bitwise identical
+  /// to a fault-free run. All detection/repair cost lands on the fault clock
+  /// and SdcStats; with ABFT off the corruption persists for the end-of-
+  /// solve residual gate to catch (docs/ROBUSTNESS.md §SDC).
+  void process_sdc_epoch() {
+    if (hooks.empty() || !hooks.back().sdc_state) return;
+    const bool due = sdc_events != nullptr && sdc_idx < sdc_events->size() &&
+                     vt >= (*sdc_events)[sdc_idx].vt;
+    if (!abft && !due) return;
+    std::vector<std::span<Real>> spans = hooks.back().sdc_state();
+    std::size_t words = 0;
+    for (const auto& s : spans) words += s.size();
+    struct Flip {
+      std::size_t span, off;
+      Real original;
+      int bit;
+      double refail_draw;
+    };
+    Flip flips[8];
+    std::size_t nflips = 0;
+    while (sdc_events != nullptr && sdc_idx < sdc_events->size() &&
+           vt >= (*sdc_events)[sdc_idx].vt) {
+      const SdcEvent ev = (*sdc_events)[sdc_idx++];
+      if (words == 0 || nflips == sizeof(flips) / sizeof(flips[0])) continue;
+      // Probe forward (wrapping) from the drawn word to the next nonzero:
+      // flipping a mantissa bit of ±0 yields denormal noise with no
+      // numerical effect, which is not a modeled upset. All-zero state
+      // drops the event without counting it as injected.
+      const std::size_t w0 = static_cast<std::size_t>(ev.word_draw % words);
+      for (std::size_t probe = 0; probe < words; ++probe) {
+        std::size_t idx = (w0 + probe) % words;
+        std::size_t si = 0;
+        while (idx >= spans[si].size()) idx -= spans[si++].size();
+        Real& v = spans[si][idx];
+        if (v == 0.0) continue;
+        flips[nflips++] = {si, idx, v, ev.bit, ev.refail_draw};
+        std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+        bits ^= std::uint64_t{1} << ev.bit;
+        v = std::bit_cast<Real>(bits);
+        sdc.injected += 1;
+        mh.abft_injected.add();
+        flight_record(FlightEntry::kSdc, -1, static_cast<int>(ev.target),
+                      ev.bit, 0);
+        if (tracing) {
+          trace.marks.push_back(
+              {"sdc-inject", vt, static_cast<std::int64_t>(ev.bit)});
+        }
+        break;
+      }
+    }
+    if (!abft) return;
+    // Checksum verification: one fused multiply-add per live word against
+    // the running block checksum, plus a fixed bookkeeping overhead.
+    const AbftModel& am = mach->abft;
+    const double vcost =
+        am.check_overhead + 2.0 * static_cast<double>(words) / mach->cpu_flop_rate;
+    sdc.checks += 1;
+    sdc.verify_time += vcost;
+    fvt += vcost;
+    mh.abft_checks.add();
+    // Unwind the flip journal in reverse (LIFO) order: when two events of
+    // the same epoch land on the same word, the later journal entry's
+    // "original" already contains the earlier flip, so forward restoration
+    // would re-corrupt the word after the first restore undoes it.
+    for (std::size_t i = nflips; i-- > 0;) {
+      const Flip& f = flips[i];
+      sdc.detected += 1;
+      mh.abft_detected.add();
+      if (tracing) {
+        trace.marks.push_back(
+            {"sdc-detect", vt, static_cast<std::int64_t>(f.bit)});
+      }
+      // The checksum mismatch localizes the corrupt block; recomputing it
+      // from retained inputs restores the exact pre-fault bits. A re-failed
+      // recomputation escalates to the buddy-checkpoint restore path.
+      spans[f.span][f.off] = f.original;
+      double rcost = am.recompute_overhead;
+      if (f.refail_draw < am.recompute_refail_prob) {
+        rcost += mach->recovery.restore_overhead;
+        sdc.escalated += 1;
+      }
+      sdc.corrected += 1;
+      sdc.repair_time += rcost;
+      fvt += rcost;
+      mh.abft_corrected.add();
+      if (tracing) {
+        trace.marks.push_back(
+            {"sdc-correct", vt, static_cast<std::int64_t>(f.bit)});
       }
     }
   }
@@ -664,6 +777,11 @@ class ClusterState {
                                      opts_.seed, nranks);
       ckpt_ = std::make_unique<CheckpointStore>(nranks);
     }
+    // The memory-fault plan is likewise fixed before any thread runs; its
+    // draws ride a salted stream of their own (kMemStreamSalt), so enabling
+    // SDC shifts no timing, delivery, or crash draw.
+    const bool sdc = machine_.perturb.sdc_active();
+    if (sdc) sdc_plan_ = build_sdc_plan(machine_.perturb, opts_.seed, nranks);
     const double sweep = 2.0 * log2_ceil(nranks) *
                          (machine_.net.latency + machine_.mpi_overhead);
     for (int r = 0; r < nranks; ++r) {
@@ -677,6 +795,8 @@ class ClusterState {
         ctx.ckpt = ckpt_.get();
         ctx.ulfm_sweep = sweep;
       }
+      if (sdc) ctx.sdc_events = &sdc_plan_.by_rank[static_cast<size_t>(r)];
+      ctx.abft = opts_.abft;
       if (skewed) {
         ctx.skew = 1.0 + machine_.perturb.compute_skew *
                              perturb_uniform(opts_.seed, static_cast<std::uint64_t>(r),
@@ -707,6 +827,10 @@ class ClusterState {
         mh.ckpt_bytes = m->counter("checkpoint.bytes");
         mh.crashes = m->counter("recovery.crashes");
         mh.recovery_sweeps = m->counter("recovery.sweeps");
+        mh.abft_checks = m->counter("abft.checks");
+        mh.abft_injected = m->counter("abft.injected");
+        mh.abft_detected = m->counter("abft.detected");
+        mh.abft_corrected = m->counter("abft.corrected");
       }
     }
     if (sched_ != nullptr && opts_.metrics) {
@@ -774,6 +898,11 @@ class ClusterState {
             std::snprintf(buf, sizeof(buf),
                           "rank %zu: vt=%.9g checkpoint(epoch=%d, bytes=%lld)", r,
                           e.vt, e.a, static_cast<long long>(e.bytes));
+            break;
+          case RankCtx::FlightEntry::kSdc:
+            std::snprintf(buf, sizeof(buf),
+                          "rank %zu: vt=%.9g sdc(target=%d, bit=%d)", r, e.vt,
+                          e.a, e.b);
             break;
           case RankCtx::FlightEntry::kNone:
             continue;
@@ -957,6 +1086,7 @@ class ClusterState {
   std::vector<std::weak_ptr<CommGroup>> groups_;
   CrashPlan crash_plan_;                  // empty unless perturb.crash_active()
   std::unique_ptr<CheckpointStore> ckpt_; // null unless perturb.crash_active()
+  SdcPlan sdc_plan_;                      // empty unless perturb.sdc_active()
 };
 
 /// One communicator: a context id plus the member global ranks. Also hosts
@@ -1228,6 +1358,10 @@ void Comm::reset_clock() {
   ctx_->crash_idx = 0;
   ctx_->crash_total = 0.0;
   ctx_->ckpt_epoch_counter = 0;
+  // SDC re-arms the same way: memory-fault times are on the post-reset
+  // clock and the ABFT ledger restarts with the run it accounts for.
+  ctx_->sdc = SdcStats{};
+  ctx_->sdc_idx = 0;
   if (ctx_->ckpt != nullptr) ctx_->ckpt->clear(ctx_->grank);
   // Setup-phase events would break the fresh clock's contiguity; drop them.
   // send_seq is deliberately NOT reset: a pre-reset send could otherwise
@@ -1381,7 +1515,9 @@ void Comm::send_link(int dst, int tag, std::vector<Real> data, const LinkParams&
         pm, topt, cluster->opts().seed, ctx_->grank, dst_grank, ctx_->vt, flight,
         ack_flight, overhead, &ctx_->fseq));
     env.fault_arrival += outcome->extra_delay;
-    env.checksum = payload_checksum(env.msg.data);
+    env.checksum = frame_checksum(ctx_->grank, dst_grank, tag,
+                                  static_cast<std::uint64_t>(env.seq),
+                                  env.msg.data);
     TransportStats& ts = ctx_->tstats;
     ts.data_frames += outcome->attempts;
     ts.retransmits += outcome->attempts - 1;
@@ -1509,11 +1645,13 @@ Message Comm::recv_range(int src, int tag_lo, int tag_hi, TimeCategory cat) {
       ts.reordered += outcome->reordered ? 1 : 0;
       ctx_->mh.acks.add(outcome->acks);
       ctx_->mh.duplicates.add(outcome->duplicates);
-      // End-to-end verification on the accepted copy: the checksum stamped
-      // at send must match, and the per-sender sequence number must be
-      // fresh. A violation is a transport bug, not a modeled fault.
-      if (checksum != payload_checksum(msg.data)) {
-        throw std::logic_error("reliable transport: accepted payload fails checksum");
+      // End-to-end verification on the accepted copy: the whole-frame
+      // checksum stamped at send — header (src, dst, tag, seq) before the
+      // payload bytes — must match, and the per-sender sequence number must
+      // be fresh. A violation is a transport bug, not a modeled fault.
+      if (checksum != frame_checksum(src_grank, ctx_->grank, msg.tag,
+                                     static_cast<std::uint64_t>(seq), msg.data)) {
+        throw std::logic_error("reliable transport: accepted frame fails checksum");
       }
       if (!ctx_->seen_seqs[src_grank].insert(seq).second) {
         throw std::logic_error("reliable transport: duplicate reached the application");
@@ -1937,18 +2075,31 @@ Comm Comm::shrink(const std::vector<int>& failed, TimeCategory cat) {
 
 const RecoveryStats& Comm::recovery_stats() const { return ctx_->rstats; }
 
+const SdcStats& Comm::sdc_stats() const { return ctx_->sdc; }
+
 CheckpointScope Comm::register_checkpoint(
     const char* label, std::function<std::vector<Real>()> capture,
-    std::function<void(const CheckpointImage&)> restore) {
-  // Bypass-free without a crash model: nothing is pushed, nothing captured.
-  if (ctx_->crash_events == nullptr) return CheckpointScope(nullptr, 0);
-  ctx_->hooks.push_back({label, std::move(capture), std::move(restore)});
+    std::function<void(const CheckpointImage&)> restore, SdcStateFn sdc_state) {
+  // Bypass-free without a crash model, SDC schedule, or ABFT: nothing is
+  // pushed, nothing captured.
+  const bool sdc_armed =
+      ctx_->abft || (ctx_->sdc_events != nullptr && !ctx_->sdc_events->empty());
+  if (ctx_->crash_events == nullptr && !sdc_armed) {
+    return CheckpointScope(nullptr, 0);
+  }
+  ctx_->hooks.push_back(
+      {label, std::move(capture), std::move(restore), std::move(sdc_state)});
   return CheckpointScope(ctx_, ctx_->hooks.size() - 1);
 }
 
 void Comm::checkpoint_epoch(std::int64_t arg) {
   detail::RankCtx* c = ctx_;
-  if (c->crash_events == nullptr || c->hooks.empty()) return;
+  if (c->hooks.empty()) return;
+  // SDC pass first: armed memory faults land (and, under ABFT, are detected
+  // and repaired) before the epoch's buddy image is captured, so a crash
+  // restore never resurrects a corrupted word.
+  c->process_sdc_epoch();
+  if (c->crash_events == nullptr) return;
   const auto& hook = c->hooks.back();
   CheckpointImage img;
   img.epoch = c->ckpt_epoch_counter++;
@@ -2104,6 +2255,17 @@ std::uint64_t Cluster::Result::fault_fingerprint() const {
     mix(std::bit_cast<std::uint64_t>(rec.restore_time));
     mix(std::bit_cast<std::uint64_t>(rec.replay_time));
     mix(std::bit_cast<std::uint64_t>(rec.checkpoint_time));
+    const SdcStats& s = r.sdc;
+    mix(static_cast<std::uint64_t>(s.injected));
+    mix(static_cast<std::uint64_t>(s.detected));
+    mix(static_cast<std::uint64_t>(s.corrected));
+    mix(static_cast<std::uint64_t>(s.escalated));
+    mix(static_cast<std::uint64_t>(s.checks));
+    mix(static_cast<std::uint64_t>(s.residual_checks));
+    mix(static_cast<std::uint64_t>(s.refine_iters));
+    mix(std::bit_cast<std::uint64_t>(s.verify_time));
+    mix(std::bit_cast<std::uint64_t>(s.repair_time));
+    mix(std::bit_cast<std::uint64_t>(s.residual_time));
   }
   return h;
 }
@@ -2111,6 +2273,12 @@ std::uint64_t Cluster::Result::fault_fingerprint() const {
 RecoveryStats Cluster::Result::recovery_stats() const {
   RecoveryStats total;
   for (const auto& r : ranks) total += r.recovery;
+  return total;
+}
+
+SdcStats Cluster::Result::sdc_stats() const {
+  SdcStats total;
+  for (const auto& r : ranks) total += r.sdc;
   return total;
 }
 
@@ -2205,6 +2373,7 @@ Cluster::Result Cluster::run_impl(int nranks, const MachineModel& machine,
     out.fault_vtime = state.rank(r).fvt;
     out.transport = state.rank(r).tstats;
     out.recovery = state.rank(r).rstats;
+    out.sdc = state.rank(r).sdc;
     for (int c = 0; c < kNumTimeCategories; ++c) {
       out.category[c] = state.rank(r).category[c];
       out.messages[c] = state.rank(r).messages[c];

@@ -145,6 +145,17 @@ struct RunOptions {
   /// `metrics`; samples land on the fixed grid k * metrics_period, so the
   /// series is schedule- and thread-timing-independent.
   double metrics_period = 0.0;
+  /// Checksum-augmented (ABFT) solves: verify a running checksum of the
+  /// registered solver state at every checkpoint_epoch, localize and
+  /// recompute any corrupted word on the spot (docs/ROBUSTNESS.md §SDC).
+  /// All verification/repair cost rides the fault ledger, so enabling ABFT
+  /// changes no clean-ledger bit — with or without injected faults.
+  bool abft = false;
+  /// Degraded-mode repair: when the end-of-solve residual check trips with
+  /// corruption ABFT could not (or was not enabled to) correct, fall back
+  /// to iterative refinement instead of failing with
+  /// FaultKind::kSilentCorruption (see solve_system_3d_verified).
+  bool sdc_repair = false;
 };
 
 /// A received message.
@@ -187,8 +198,10 @@ class TraceSpan {
 /// Comm::register_checkpoint. Hooks form a per-rank stack (strictly LIFO —
 /// destroy in reverse registration order): Comm::checkpoint_epoch captures
 /// through the innermost hook, and crash recovery verifies a restored image
-/// against the innermost hook whose label matches the image. No-op (and
-/// cost-free) unless the machine's crash model is active.
+/// against the innermost hook whose label matches the image. The optional
+/// sdc_state exposure additionally anchors memory-fault injection and ABFT
+/// verification at the same epochs. No-op (and cost-free) unless the
+/// machine's crash model, an SDC schedule, or RunOptions::abft is active.
 class CheckpointScope {
  public:
   CheckpointScope(CheckpointScope&& other) noexcept;
@@ -276,20 +289,31 @@ class Comm {
   Comm shrink(const std::vector<int>& failed,
               TimeCategory cat = TimeCategory::kOther);
 
-  // --- buddy checkpointing (docs/ROBUSTNESS.md; no-ops without a crash model) ---
+  // --- buddy checkpointing + SDC anchoring (docs/ROBUSTNESS.md; no-ops
+  // without a crash model, SDC schedule, or RunOptions::abft) ---
+  /// Live mutable solver state exposed for memory-fault injection and ABFT
+  /// verification: spans over the words a bit flip could land in, in a
+  /// deterministic order (sort map keys before building them). The spans
+  /// must stay valid for the duration of the checkpoint_epoch call that
+  /// fetches them.
+  using SdcStateFn = std::function<std::vector<std::span<Real>>()>;
   /// Pushes a checkpoint/restore hook pair for the enclosing algorithm
   /// phase. `capture` serializes this rank's replayable solve state (called
   /// at each checkpoint_epoch); `restore` is handed the latest image during
   /// crash recovery and must verify it against the live state (throw
   /// std::logic_error on a mismatch — a broken image is a checkpoint bug,
-  /// not a modeled fault). `label` must outlive the run (string literal).
+  /// not a modeled fault). `sdc_state`, when provided, exposes the live
+  /// words the SDC layer may flip and the ABFT layer checksums at each
+  /// epoch. `label` must outlive the run (string literal).
   CheckpointScope register_checkpoint(
       const char* label, std::function<std::vector<Real>()> capture,
-      std::function<void(const CheckpointImage&)> restore);
-  /// Level-boundary epoch: captures the innermost hook's state and ships it
-  /// to this rank's buddy. The shipment cost rides the fault ledger only —
-  /// the clean clock never moves — so checkpointing cadence cannot perturb
-  /// the modeled solve. `arg` tags the trace marker (level id, row count).
+      std::function<void(const CheckpointImage&)> restore,
+      SdcStateFn sdc_state = {});
+  /// Level-boundary epoch: runs the SDC injection/ABFT verification pass
+  /// over the innermost hook's exposed state, then captures that state and
+  /// ships it to this rank's buddy. All cost rides the fault ledger only —
+  /// the clean clock never moves — so epoch cadence cannot perturb the
+  /// modeled solve. `arg` tags the trace marker (level id, row count).
   void checkpoint_epoch(std::int64_t arg = -1);
 
   // --- virtual clock ---
@@ -326,6 +350,10 @@ class Comm {
   /// absorbed, checkpoint epochs/bytes, detection/repair/restore/replay
   /// time). All zero without a crash model.
   const RecoveryStats& recovery_stats() const;
+  /// This rank's SDC/ABFT counters since reset_clock (flips injected /
+  /// detected / corrected, epoch checks, verification and repair time).
+  /// All zero without an SDC schedule or RunOptions::abft.
+  const SdcStats& sdc_stats() const;
 
   /// Opens a zero-cost annotation span labeled `label` (must be a string
   /// literal or otherwise outlive the run) with an optional caller-chosen
@@ -371,6 +399,7 @@ struct RankStats {
   double fault_vtime = 0.0;
   TransportStats transport;
   RecoveryStats recovery;
+  SdcStats sdc;
 };
 
 /// Distribution summary of one per-rank statistic (Figs 7-8 load-balance
@@ -424,6 +453,12 @@ class Cluster {
     /// epochs and bytes, detection/repair/restore/replay time). All zero
     /// without a crash model — recovery cost never reaches the clean ledger.
     RecoveryStats recovery_stats() const;
+    /// Sum of every rank's SDC/ABFT counters (flips injected / detected /
+    /// corrected / escalated, epoch checks, residual checks, degraded-mode
+    /// refinement iterations, verify/repair/residual time). All zero
+    /// without an SDC schedule or ABFT — like every other fault class, SDC
+    /// cost never reaches the clean ledger.
+    SdcStats sdc_stats() const;
     /// Mean over ranks of one category (paper plots rank-averaged bars).
     double mean_category(TimeCategory cat) const;
     double max_category(TimeCategory cat) const;

@@ -13,6 +13,7 @@
 
 #include <string>
 
+#include "runtime/abft.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/perturbation.hpp"
 #include "runtime/reliable.hpp"
@@ -73,6 +74,11 @@ struct MachineModel {
   /// checkpoint/restore/replay costs; docs/ROBUSTNESS.md). Only consulted
   /// while perturb.crash_active().
   RecoveryModel recovery;
+
+  /// ABFT checksum/recompute cost model and the end-of-solve residual gate
+  /// (docs/ROBUSTNESS.md). Only consulted while RunOptions::abft or
+  /// perturb.sdc_active().
+  AbftModel abft;
 
   /// Cori Haswell: Xeon E5-2698v3 cores, Cray Aries. CPU-only experiments
   /// (paper Fig 4-8).

@@ -117,6 +117,43 @@ struct PerturbationModel {
   /// after each crash, so >1 models repeated failures of the same slot).
   int crash_max_per_rank = 1;
 
+  // --- silent data corruption (ABFT layer, docs/ROBUSTNESS.md) ---
+  // Memory faults flip bits in modeled solver state (solution entries,
+  // local factor values, reduction partials) at level/epoch boundaries.
+  // With RunOptions::abft the flips are detected and corrected on the spot
+  // and — like every other fault class — the clean clock, counters and
+  // solution stay bitwise fault-invariant; without ABFT the corruption
+  // persists into the solution and is caught (if at all) by the end-of-solve
+  // residual check. Draws come from a dedicated salted stream
+  // (kMemStreamSalt) with its own per-rank counter, so arming SDC injection
+  // never shifts a timing, delivery or crash draw.
+
+  /// Which class of modeled solver state a memory fault lands in. All
+  /// classes corrupt live solve state; the target is kept for attribution
+  /// (per-target stats and flight-recorder entries).
+  enum class MemFaultTarget : int {
+    kX = 0,        ///< a solution / RHS entry
+    kLValues = 1,  ///< a local factor value feeding the next updates
+    kPartial = 2,  ///< a reduction partial sum
+  };
+
+  /// Deterministic memory-fault schedule: flip one bit in `rank`'s solver
+  /// state at the first epoch boundary whose clean clock reaches `vt`
+  /// (interpreted on the post-reset_clock solve clock, like Crash::vt).
+  struct MemFault {
+    int rank = -1;
+    double vt = 0.0;
+    MemFaultTarget target = MemFaultTarget::kX;
+  };
+  std::vector<MemFault> mem_faults;
+
+  /// Poisson SDC model: each rank draws exponential inter-fault times with
+  /// mean 1/sdc_rate (faults per second of clean virtual time); 0 disables.
+  double sdc_rate = 0.0;
+  /// Cap on rate-generated memory faults per rank (explicit mem_faults are
+  /// never capped).
+  int sdc_max_per_rank = 4;
+
   /// Scheduled rank stall: within the sender-clock window
   /// [vt_begin, vt_end), frames to or from `rank` either crawl (flight
   /// multiplied by `flight_factor` — a slow straggler) or, if `permanent`,
@@ -150,6 +187,11 @@ struct PerturbationModel {
   /// buddy checkpointing and the ULFM-style recovery path; the clean clock,
   /// counters and solution are still never altered).
   bool crash_active() const { return !crashes.empty() || crash_mtbf > 0.0; }
+
+  /// True if any silent-data-corruption knob is set (these inject memory
+  /// faults at epoch boundaries; with ABFT the clean ledger and solution
+  /// are still never altered).
+  bool sdc_active() const { return !mem_faults.empty() || sdc_rate > 0.0; }
 };
 
 namespace detail {

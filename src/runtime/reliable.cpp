@@ -47,6 +47,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kRevoked: return "revoked";
     case FaultKind::kBuddyLoss: return "buddy-loss";
     case FaultKind::kSparesExhausted: return "spares-exhausted";
+    case FaultKind::kSilentCorruption: return "silent-corruption";
   }
   return "?";
 }
@@ -76,6 +77,28 @@ void rethrow_with_phase(FaultError& fe, const char* phase) {
 
 std::uint64_t payload_checksum(std::span<const Real> data) {
   std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64-bit offset basis
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data.data());
+  const std::size_t n = data.size() * sizeof(Real);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t frame_checksum(int src, int dst, int tag, std::uint64_t seq,
+                             std::span<const Real> data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64-bit offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<unsigned char>(v >> (8 * i));
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(src)));
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(dst)));
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(tag)));
+  mix(seq);
   const unsigned char* p = reinterpret_cast<const unsigned char*>(data.data());
   const std::size_t n = data.size() * sizeof(Real);
   for (std::size_t i = 0; i < n; ++i) {

@@ -97,6 +97,7 @@ enum class FaultKind : int {
   kRevoked,           ///< operation on a communicator revoked after a crash
   kBuddyLoss,         ///< crashed rank and its checkpoint buddy both died
   kSparesExhausted,   ///< more crashes than the spare-rank pool could absorb
+  kSilentCorruption,  ///< residual check caught uncorrected memory faults
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -139,6 +140,14 @@ struct FaultError : std::runtime_error {
 /// every envelope while delivery faults are active and verified when the
 /// receiver takes the message.
 std::uint64_t payload_checksum(std::span<const Real> data);
+
+/// Whole-frame checksum: FNV-1a over the frame header (src, dst, tag,
+/// sequence number) before the payload bytes, so a corrupted header cannot
+/// deliver an intact-looking payload to the wrong wait. This is the checksum
+/// the transport actually stamps and verifies; payload_checksum remains for
+/// header-free state images (buddy checkpoints).
+std::uint64_t frame_checksum(int src, int dst, int tag, std::uint64_t seq,
+                             std::span<const Real> data);
 
 /// Worst matching drop probability for one directed frame, combining the
 /// global knob with per-link faults.

@@ -86,6 +86,26 @@ TEST(Transport, ChecksumDetectsBitFlips) {
   EXPECT_NE(clean, payload_checksum(flipped));
 }
 
+TEST(Transport, FrameChecksumCoversTheHeader) {
+  // A corrupted header must not be able to deliver an intact-looking
+  // payload to the wrong wait: the stamped checksum covers (src, dst, tag,
+  // seq) before the payload bytes.
+  std::vector<Real> payload{1.0, 2.0, 3.0};
+  const std::uint64_t base = frame_checksum(0, 1, 7, /*seq=*/5, payload);
+  EXPECT_EQ(base, frame_checksum(0, 1, 7, 5, payload));  // deterministic
+  EXPECT_NE(base, frame_checksum(2, 1, 7, 5, payload));  // src flip
+  EXPECT_NE(base, frame_checksum(0, 3, 7, 5, payload));  // dst flip
+  EXPECT_NE(base, frame_checksum(0, 1, 8, 5, payload));  // tag flip
+  EXPECT_NE(base, frame_checksum(0, 1, 7, 6, payload));  // seq flip
+  auto flipped = payload;
+  auto* bits = reinterpret_cast<unsigned char*>(flipped.data());
+  bits[5] ^= 0x04;
+  EXPECT_NE(base, frame_checksum(0, 1, 7, 5, flipped));  // payload flip
+  // Header mixing is positional, not a plain byte concatenation: swapping
+  // src and dst changes the digest even though the byte multiset matches.
+  EXPECT_NE(frame_checksum(1, 0, 7, 5, payload), frame_checksum(0, 1, 7, 5, payload));
+}
+
 TEST(Transport, LinkFaultsPickWorstMatch) {
   PerturbationModel pm;
   pm.drop_prob = 0.05;

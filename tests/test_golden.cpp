@@ -16,8 +16,9 @@ namespace sptrsv {
 namespace {
 
 /// Golden-fingerprint corpus: the clean-ledger fingerprint of a 2x2x2
-/// deterministic solve of every Table-1 matrix, for both 3D algorithms and
-/// two perturbation seeds, pinned in tests/golden_fingerprints.txt. Any
+/// deterministic solve of every Table-1 matrix, for both 3D algorithms,
+/// two perturbation seeds, and two ABFT-armed variants (fault-free and
+/// seeded-SDC), pinned in tests/golden_fingerprints.txt. Any
 /// drift — a clock-model change, a reordered reduction, a perturbation
 /// stream change — fails here with the exact (matrix, algorithm, seed)
 /// that moved. Intentional changes regenerate the corpus:
@@ -35,8 +36,13 @@ std::string fp_hex(std::uint64_t fp) {
   return os.str();
 }
 
-/// "<matrix> <algorithm> <seed>" -> fingerprint hex, for all 24 corpus
-/// entries, computed fresh.
+/// "<matrix> <algorithm> <seed-token>" -> fingerprint hex, for all 48
+/// corpus entries, computed fresh. Seed tokens "0"/"1" are plain perturbed
+/// solves; "abft0" is the same seed-0 solve with ABFT armed and no faults,
+/// "sdc0" is seed 0 with ABFT armed over an aggressive memory-fault rate.
+/// Both ABFT rows must equal the plain "0" row bit for bit — the corpus
+/// pins the docs/ROBUSTNESS.md contract that verification and correction
+/// never touch the clean ledger.
 std::map<std::string, std::string> compute_corpus() {
   std::map<std::string, std::string> out;
   for (const PaperMatrix pm : all_paper_matrices()) {
@@ -44,6 +50,8 @@ std::map<std::string, std::string> compute_corpus() {
     const FactoredSystem fs = analyze_and_factor(a, 3);
     const std::vector<Real> b = test::random_rhs(a.rows(), 1, 42);
     for (const Algorithm3d alg : {Algorithm3d::kProposed, Algorithm3d::kBaseline}) {
+      const std::string base = paper_matrix_name(pm) + " " +
+                               (alg == Algorithm3d::kProposed ? "proposed" : "baseline");
       for (const std::uint64_t seed : {0, 1}) {
         SolveConfig cfg;
         cfg.shape = {2, 2, 2};
@@ -53,9 +61,24 @@ std::map<std::string, std::string> compute_corpus() {
         // what the fingerprint pins — seeds 0 and 1 are distinct entries.
         const DistSolveOutcome res =
             solve_system_3d(fs, b, cfg, test::perturbed_machine());
-        const std::string key = paper_matrix_name(pm) + " " +
-                                (alg == Algorithm3d::kProposed ? "proposed" : "baseline") +
-                                " " + std::to_string(seed);
+        out[base + " " + std::to_string(seed)] = fp_hex(res.run_stats.fingerprint());
+      }
+      for (const bool faulted : {false, true}) {
+        SolveConfig cfg;
+        cfg.shape = {2, 2, 2};
+        cfg.algorithm = alg;
+        cfg.run = RunOptions{.deterministic = true, .seed = 0};
+        cfg.run.abft = true;
+        MachineModel machine = test::perturbed_machine();
+        if (faulted) machine.perturb.sdc_rate = 5e4;
+        const DistSolveOutcome res = solve_system_3d(fs, b, cfg, machine);
+        const std::string key = base + (faulted ? " sdc0" : " abft0");
+        if (faulted) {
+          EXPECT_GT(res.run_stats.sdc_stats().injected, 0u)
+              << key << ": the seeded-SDC corpus row injected nothing";
+        }
+        EXPECT_EQ(fp_hex(res.run_stats.fingerprint()), out[base + " 0"])
+            << key << ": ABFT-corrected fingerprint drifted from the clean row";
         out[key] = fp_hex(res.run_stats.fingerprint());
       }
     }
@@ -71,7 +94,7 @@ TEST(GoldenFingerprints, MatchCorpus) {
     std::ofstream out(regen);
     ASSERT_TRUE(out) << "cannot write " << regen;
     out << "# Golden clean-ledger fingerprints (tests/test_golden.cpp).\n"
-        << "# <matrix> <algorithm> <perturbation-seed> <fingerprint>\n"
+        << "# <matrix> <algorithm> <seed-token: 0|1|abft0|sdc0> <fingerprint>\n"
         << "# Regenerate: SPTRSV_GOLDEN_REGEN=<path> ./build/tests/test_golden\n";
     for (const auto& [key, fp] : computed) out << key << " " << fp << "\n";
     GTEST_SKIP() << "regenerated " << computed.size() << " entries into " << regen;

@@ -5,6 +5,7 @@
 #include "core/refinement.hpp"
 #include "factor/sptrsv_seq.hpp"
 #include "sparse/paper_matrices.hpp"
+#include "test_support.hpp"
 
 namespace sptrsv {
 namespace {
@@ -92,6 +93,64 @@ TEST(Refinement, ModeledTimeAccumulatesPerIteration) {
   const auto r3 =
       iterative_refinement(a, fs, b, cfg, MachineModel::cori_haswell(), three);
   EXPECT_GT(r3.modeled_solve_time, 2.0 * r1.modeled_solve_time * 0.8);
+}
+
+// ---------------------------------------------------------------------------
+// Refinement under perturbation (docs/ROBUSTNESS.md): every inner solve
+// rides the same two-ledger contract, so delivery faults and crashes leave
+// the numerical trajectory bitwise unchanged.
+// ---------------------------------------------------------------------------
+
+TEST(Refinement, DeliveryFaultsLeaveTheTrajectoryBitwiseClean) {
+  const CsrMatrix a = make_paper_matrix(PaperMatrix::kS2D9pt2048, MatrixScale::kTiny);
+  const FactoredSystem fs = analyze_and_factor(a, 2);
+  const auto b = random_rhs(a.rows(), 1, 3);
+  SolveConfig cfg;
+  cfg.shape = {2, 2, 2};
+  cfg.run.deterministic = true;
+  cfg.run.seed = 9;
+  RefinementOptions opt;
+  opt.tolerance = 0;  // fixed-length run: identical iteration counts by design
+  opt.max_iterations = 3;
+  const RefinementResult clean =
+      iterative_refinement(a, fs, b, cfg, test::test_machine(), opt);
+  const RefinementResult faulty =
+      iterative_refinement(a, fs, b, cfg, test::faulty_machine(), opt);
+  EXPECT_EQ(faulty.iterations(), clean.iterations());
+  EXPECT_TRUE(test::bitwise_equal(faulty.x, clean.x));
+  EXPECT_TRUE(test::bitwise_equal(faulty.residual_history, clean.residual_history));
+  // Monotone decay survives the fault schedule (roundoff slack as above).
+  for (size_t i = 1; i < faulty.residual_history.size(); ++i) {
+    EXPECT_LE(faulty.residual_history[i], faulty.residual_history[0] * 1.5);
+  }
+}
+
+TEST(Refinement, MidRefinementCrashRecoversBitwise) {
+  const CsrMatrix a = make_paper_matrix(PaperMatrix::kS2D9pt2048, MatrixScale::kTiny);
+  const FactoredSystem fs = analyze_and_factor(a, 2);
+  const auto b = random_rhs(a.rows(), 1, 3);
+  SolveConfig cfg;
+  cfg.shape = {2, 2, 2};
+  cfg.run.deterministic = true;
+  const RefinementResult clean =
+      iterative_refinement(a, fs, b, cfg, test::test_machine());
+  ASSERT_TRUE(clean.converged);
+
+  // Probe one inner solve for rank 1's clean finish time, then crash that
+  // rank halfway through — the schedule re-fires inside every refinement
+  // iteration's solve (vt restarts at reset_clock), so recovery runs
+  // repeatedly mid-refinement.
+  const DistSolveOutcome probe = solve_system_3d(fs, b, cfg, test::test_machine());
+  MachineModel crashy = test::test_machine();
+  crashy.perturb.crashes.push_back({1, 0.5 * probe.run_stats.ranks[1].vtime});
+  const RefinementResult crashed = iterative_refinement(a, fs, b, cfg, crashy);
+  EXPECT_TRUE(crashed.converged);
+  EXPECT_EQ(crashed.iterations(), clean.iterations());
+  EXPECT_TRUE(test::bitwise_equal(crashed.x, clean.x));
+  EXPECT_TRUE(test::bitwise_equal(crashed.residual_history, clean.residual_history));
+  for (size_t i = 1; i < crashed.residual_history.size(); ++i) {
+    EXPECT_LE(crashed.residual_history[i], crashed.residual_history[0] * 1.5);
+  }
 }
 
 }  // namespace
