@@ -158,7 +158,9 @@ bool write_file(const fs::path& path, const std::string& text) {
 }
 
 /// Proves the regression exit path: a clean pair compares equal, an
-/// injected +50% makespan is flagged. Returns the process exit code.
+/// injected +50% makespan is flagged, and a regression confined to one
+/// rank's metric row (metric.<name>.rank<N>) is flagged even though the
+/// cross-rank total is unchanged. Returns the process exit code.
 int self_test() {
   const fs::path root = fs::temp_directory_path() / "sptrsv_bench_compare_selftest";
   std::error_code ec;
@@ -169,20 +171,35 @@ int self_test() {
   fs::create_directories(base, ec);
   fs::create_directories(same, ec);
   fs::create_directories(regressed, ec);
+  const fs::path skewed = root / "skewed";
+  fs::create_directories(skewed, ec);
   const char* doc_base =
       "{\"schema\":\"sptrsv-bench/1\",\"point\":\"new_2x2x4\","
-      "\"values\":{\"makespan\":0.001,\"metric.cluster.messages.z\":128}}\n";
+      "\"values\":{\"makespan\":0.001,\"metric.cluster.messages.z\":128,"
+      "\"metric.cluster.wait_time.rank0\":0.0001,"
+      "\"metric.cluster.wait_time.rank1\":0.0001}}\n";
   const char* doc_regressed =
       "{\"schema\":\"sptrsv-bench/1\",\"point\":\"new_2x2x4\","
-      "\"values\":{\"makespan\":0.0015,\"metric.cluster.messages.z\":128}}\n";
+      "\"values\":{\"makespan\":0.0015,\"metric.cluster.messages.z\":128,"
+      "\"metric.cluster.wait_time.rank0\":0.0001,"
+      "\"metric.cluster.wait_time.rank1\":0.0001}}\n";
+  // Same makespan and totals, but rank 1's wait doubled while rank 0's
+  // halved — only the per-rank rows can catch this load-balance shift.
+  const char* doc_skewed =
+      "{\"schema\":\"sptrsv-bench/1\",\"point\":\"new_2x2x4\","
+      "\"values\":{\"makespan\":0.001,\"metric.cluster.messages.z\":128,"
+      "\"metric.cluster.wait_time.rank0\":0.00005,"
+      "\"metric.cluster.wait_time.rank1\":0.0002}}\n";
   if (!write_file(base / "000_new_2x2x4.json", doc_base) ||
       !write_file(same / "000_new_2x2x4.json", doc_base) ||
-      !write_file(regressed / "000_new_2x2x4.json", doc_regressed)) {
+      !write_file(regressed / "000_new_2x2x4.json", doc_regressed) ||
+      !write_file(skewed / "000_new_2x2x4.json", doc_skewed)) {
     std::fprintf(stderr, "self-test: cannot write scratch reports\n");
     return 2;
   }
   const int clean = compare_dirs(base, same, 0.10, /*quiet=*/true);
   const int dirty = compare_dirs(base, regressed, 0.10, /*quiet=*/true);
+  const int rank_dirty = compare_dirs(base, skewed, 0.10, /*quiet=*/true);
   fs::remove_all(root, ec);
   if (clean != 0) {
     std::fprintf(stderr, "self-test FAIL: identical dirs reported %d\n", clean);
@@ -192,7 +209,14 @@ int self_test() {
     std::fprintf(stderr, "self-test FAIL: injected regression not flagged\n");
     return 1;
   }
-  std::printf("self-test PASS: identical dirs clean, injected +50%% flagged\n");
+  if (rank_dirty <= 0) {
+    std::fprintf(stderr,
+                 "self-test FAIL: per-rank regression hidden by unchanged "
+                 "totals was not flagged\n");
+    return 1;
+  }
+  std::printf("self-test PASS: identical dirs clean, injected +50%% flagged, "
+              "per-rank skew flagged\n");
   return 0;
 }
 

@@ -92,6 +92,17 @@ inline double bench_sdc_rate() {
   return std::atof(v);
 }
 
+/// SPTRSV_BENCH_DEGRADE=1 empties the spare-rank pool and arms elastic
+/// shrink-and-redistribute recovery (RunOptions::degrade), so the crashes
+/// from SPTRSV_BENCH_CRASH shrink the world and redistribute the dead
+/// rank's partition instead of adopting spares (docs/ROBUSTNESS.md,
+/// graceful degradation). The printed tables are unchanged; each sweep
+/// point adds a `# degrade:` line with the shrink ledger.
+inline bool bench_degrade() {
+  const char* v = std::getenv("SPTRSV_BENCH_DEGRADE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
 /// SPTRSV_BENCH_DETERMINISTIC=1 runs every solve in the deterministic
 /// scheduler mode: slower (ranks serialize on the run token), but two runs
 /// of a bench print byte-identical tables (docs/DETERMINISM.md).
@@ -137,6 +148,11 @@ inline void print_mode_banner() {
         "# sdc: rate=%.3e faults/s/rank, ABFT detect+correct "
         "(tables unchanged; verification overhead per sweep point)\n",
         rate);
+  }
+  if (bench_degrade()) {
+    std::printf(
+        "# degrade: spare pool emptied, crashes shrink the world and "
+        "redistribute (tables unchanged; shrink ledger per sweep point)\n");
   }
 }
 
@@ -202,12 +218,30 @@ inline std::map<std::string, double> metric_totals(const MetricsReport& rep) {
   return out;
 }
 
+/// Adds per-rank metric rows (`metric.<name>.rank<N>`) next to the totals:
+/// bench_compare's generic key loop then diffs each rank's series under
+/// --tol, so a regression confined to one rank can't hide inside an
+/// unchanged sum (e.g. a load-balance shift that leaves total messages
+/// equal but doubles one rank's wait time).
+inline void add_metric_rank_rows(const MetricsReport& rep,
+                                 std::map<std::string, double>* out) {
+  for (std::size_t r = 0; r < rep.ranks.size(); ++r) {
+    const std::string suffix = ".rank" + std::to_string(r);
+    for (const auto& [name, v] : rep.ranks[r].values) {
+      (*out)["metric." + name + suffix] += v;
+    }
+  }
+}
+
 /// Sweep-point report for the GPU discrete-event model: phase timings plus
 /// the per-GPU metric totals when GpuSolveConfig::metrics was on.
 inline void bench_report_gpu(const std::string& stem, const GpuSolveTimes& t) {
   if (!bench_json_enabled()) return;
   std::map<std::string, double> values;
-  if (t.metrics != nullptr) values = metric_totals(*t.metrics);
+  if (t.metrics != nullptr) {
+    values = metric_totals(*t.metrics);
+    add_metric_rank_rows(*t.metrics, &values);
+  }
   values["total"] = t.total;
   values["l_solve"] = t.l_solve;
   values["u_solve"] = t.u_solve;
@@ -268,11 +302,19 @@ inline DistSolveOutcome run_cpu(const FactoredSystem& fs, const Grid3dShape& sha
   }
   if (const double mtbf = bench_crash_mtbf(); mtbf > 0.0) {
     m.perturb.crash_mtbf = mtbf;
-    // A sweep wants overhead lines, not unrecoverable-verdict demos (the
-    // tests own those): widen the spare pool to the cluster size so large
-    // points survive several deaths. A buddy-pair loss still aborts the
-    // bench — raise the MTBF if a sweep trips one.
-    m.recovery.spare_ranks = shape.px * shape.py * shape.pz;
+    if (bench_degrade()) {
+      // Elastic mode: no spares at all — every crash shrinks the world and
+      // redistributes the dead rank's partition. Only a lost survivor
+      // quorum aborts the sweep.
+      m.recovery.spare_ranks = 0;
+      cfg.run.degrade = true;
+    } else {
+      // A sweep wants overhead lines, not unrecoverable-verdict demos (the
+      // tests own those): widen the spare pool to the cluster size so large
+      // points survive several deaths. A buddy-pair loss still aborts the
+      // bench — raise the MTBF if a sweep trips one.
+      m.recovery.spare_ranks = shape.px * shape.py * shape.pz;
+    }
   }
   const auto b = bench_rhs(fs.lu.n(), nrhs);
   DistSolveOutcome out = solve_system_3d(fs, b, cfg, m);
@@ -302,6 +344,18 @@ inline DistSolveOutcome run_cpu(const FactoredSystem& fs, const Grid3dShape& sha
                 clean > 0.0 ? 100.0 * rec.checkpoint_time / clean : 0.0,
                 recovery);
   }
+  if (bench_crash_mtbf() > 0.0 && bench_degrade()) {
+    const DegradationStats deg = out.run_stats.degradation_stats();
+    std::printf("# degrade: events=%lld ranks_lost=%lld adopted=%lld "
+                "redistributed=%lld bytes, shrink+agree %.3e s, "
+                "redistribute %.3e s, replay %.3e s, overload %.3e s\n",
+                static_cast<long long>(deg.degrades),
+                static_cast<long long>(deg.ranks_lost),
+                static_cast<long long>(deg.partitions_adopted),
+                static_cast<long long>(deg.redistributed_bytes),
+                deg.agree_time + deg.shrink_time, deg.redistribute_time,
+                deg.replay_time, deg.overload_time);
+  }
   if (bench_sdc_rate() > 0.0) {
     const SdcStats s = out.run_stats.sdc_stats();
     const double clean = out.run_stats.makespan();
@@ -323,6 +377,7 @@ inline DistSolveOutcome run_cpu(const FactoredSystem& fs, const Grid3dShape& sha
   maybe_dump_trace(out.run_stats.trace.get(), stem);
   if (bench_json_enabled() && out.run_stats.metrics != nullptr) {
     std::map<std::string, double> values = metric_totals(*out.run_stats.metrics);
+    add_metric_rank_rows(*out.run_stats.metrics, &values);
     values["makespan"] = out.makespan;
     values["fault_makespan"] = out.run_stats.fault_makespan();
     bench_report(stem, values);

@@ -7,7 +7,7 @@
 ///              [--machine cori|perlmutter|crusher] [--nrhs N]
 ///              [--backend cpu|gpu] [--refine] [--csv] [--trace FILE]
 ///              [--metrics FILE] [--crash R@T] [--mtbf SECONDS]
-///              [--sdc RATE] [--abft] [--sdc-repair]
+///              [--sdc RATE] [--abft] [--sdc-repair] [--spares N] [--degrade]
 ///
 /// Examples:
 ///   sptrsv_cli --matrix s2D9pt2048 --shape 4x4x8 --alg new
@@ -45,7 +45,8 @@ namespace {
                "          [--machine cori|perlmutter|crusher] [--nrhs N]\n"
                "          [--backend cpu|gpu] [--refine] [--csv] [--trace FILE]\n"
                "          [--metrics FILE] [--crash R@T]... [--mtbf SECONDS]\n"
-               "          [--sdc RATE] [--abft] [--sdc-repair]\n"
+               "          [--sdc RATE] [--abft] [--sdc-repair] [--spares N]\n"
+               "          [--degrade]\n"
                "\n"
                "  --metrics FILE  enable the runtime metrics registry and write the\n"
                "                  schema-versioned JSON report (sptrsv-metrics/1) to\n"
@@ -57,6 +58,12 @@ namespace {
                "                  words in place (docs/ROBUSTNESS.md, SDC section)\n"
                "  --sdc-repair    if the end-of-solve residual gate trips, degrade\n"
                "                  into iterative refinement instead of failing\n"
+               "  --spares N      size of the spare-rank pool crashes draw from\n"
+               "                  (default 2)\n"
+               "  --degrade       when the spare pool runs dry (or a buddy pair\n"
+               "                  dies), shrink the world and redistribute the\n"
+               "                  dead rank's partition instead of failing\n"
+               "                  (docs/ROBUSTNESS.md, graceful degradation)\n"
                "\n"
                "exit codes: 0 success, 1 numeric/IO failure, 2 usage,\n"
                "            3 structured fault (FaultReport on stderr),\n"
@@ -118,6 +125,8 @@ int main(int argc, char** argv) {
   double mtbf = 0.0;
   double sdc_rate = 0.0;
   bool abft = false, sdc_repair = false;
+  bool degrade = false;
+  int spares = -1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -169,6 +178,10 @@ int main(int argc, char** argv) {
       abft = true;
     } else if (a == "--sdc-repair") {
       sdc_repair = true;
+    } else if (a == "--spares") {
+      spares = std::atoi(next().c_str());
+    } else if (a == "--degrade") {
+      degrade = true;
     } else {
       usage(argv[0]);
     }
@@ -180,6 +193,7 @@ int main(int argc, char** argv) {
   machine.perturb.crashes = crashes;
   machine.perturb.crash_mtbf = mtbf;
   machine.perturb.sdc_rate = sdc_rate;
+  if (spares >= 0) machine.recovery.spare_ranks = spares;
 
   try {
   const CsrMatrix a = load_matrix(matrix, scale);
@@ -246,6 +260,7 @@ int main(int argc, char** argv) {
   cfg.run.metrics = !metrics_path.empty() && !refine;
   cfg.run.abft = abft;
   cfg.run.sdc_repair = sdc_repair;
+  cfg.run.degrade = degrade;
 
   if (refine) {
     if (!metrics_path.empty()) {
@@ -315,12 +330,20 @@ int main(int argc, char** argv) {
   if (sdc_engaged) {
     const SdcStats s = out.run_stats.sdc_stats();
     std::printf("  sdc: injected=%lld detected=%lld corrected=%lld "
-                "refine_iters=%lld%s\n",
+                "refine_iters=%lld%s\n"
+                "       by-target (injected/corrected): x=%lld/%lld "
+                "l=%lld/%lld partial=%lld/%lld\n",
                 static_cast<long long>(s.injected),
                 static_cast<long long>(s.detected),
                 static_cast<long long>(s.corrected),
                 static_cast<long long>(repair_iters),
-                repaired ? " (repaired by refinement)" : "");
+                repaired ? " (repaired by refinement)" : "",
+                static_cast<long long>(s.injected_by[0]),
+                static_cast<long long>(s.corrected_by[0]),
+                static_cast<long long>(s.injected_by[1]),
+                static_cast<long long>(s.corrected_by[1]),
+                static_cast<long long>(s.injected_by[2]),
+                static_cast<long long>(s.corrected_by[2]));
   }
   if (machine.perturb.crash_active()) {
     const RecoveryStats rec = out.run_stats.recovery_stats();
@@ -335,6 +358,25 @@ int main(int argc, char** argv) {
         static_cast<long long>(rec.restores), rec.detect_time, rec.repair_time,
         rec.restore_time, rec.replay_time, out.run_stats.fault_makespan(),
         out.run_stats.makespan());
+    if (rec.image_rejects > 0) {
+      std::printf("            image_rejects=%lld (corrupt checkpoints "
+                  "escalated to replay-from-start)\n",
+                  static_cast<long long>(rec.image_rejects));
+    }
+    const DegradationStats deg = out.run_stats.degradation_stats();
+    if (deg.any()) {
+      std::printf(
+          "  degrade: events=%lld ranks_lost=%lld adopted=%lld "
+          "redistributed=%lld B\n"
+          "           agree %.3e s, shrink %.3e s, redistribute %.3e s, "
+          "replay %.3e s, overload %.3e s\n",
+          static_cast<long long>(deg.degrades),
+          static_cast<long long>(deg.ranks_lost),
+          static_cast<long long>(deg.partitions_adopted),
+          static_cast<long long>(deg.redistributed_bytes), deg.agree_time,
+          deg.shrink_time, deg.redistribute_time, deg.replay_time,
+          deg.overload_time);
+    }
   }
   // A refinement repair converges to the ABFT residual gate, not to working
   // accuracy — meeting the gate is the documented success criterion there.

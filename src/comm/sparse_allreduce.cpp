@@ -105,6 +105,10 @@ void sparse_allreduce(Comm& zcomm, const NdTree& tree,
   // exchange level. Partials mutate in place (that is the whole point of
   // the reduction), so restore validation checks the layout only — every
   // checkpointed segment must still exist with its checkpointed length.
+  // The exchange schedule and reduction order are pinned by the virtual
+  // rank inside the reduce tree, not by the physical host, so a shrunk
+  // world replaying an adopted partition (RunOptions::degrade) sums the
+  // same partials in the same order and stays bitwise fault-invariant.
   int ckpt_level = 0;
   const CheckpointScope ckpt = zcomm.register_checkpoint(
       "sparse_allreduce",

@@ -183,6 +183,11 @@ LSolve2dResult solve_l_2d(Comm& grid, const Solve2dPlan& plan, const VecMap& b_l
   // append-only y-fragment map plus the remaining-message cursor. Epochs cut
   // at quarter marks of local diagonal-solve progress (the 2D solve has no
   // level barriers to hang them on). No-op unless a crash model is active.
+  // The per-row accumulation order is a pure function of the *partition*
+  // (owner rows and their DAG order), not of which physical rank hosts it —
+  // so an adopter replaying this partition after an elastic shrink
+  // (RunOptions::degrade) reproduces the victim's floating-point results
+  // bit for bit.
   const CheckpointScope ckpt = grid.register_checkpoint(
       "solve_l_2d",
       [&] { return checkpoint_pack(result.y, static_cast<double>(expected)); },

@@ -586,11 +586,21 @@ VerifiedSolveOutcome solve_system_3d_verified(const CsrMatrix& a,
     r.kind = FaultKind::kSilentCorruption;
     r.rank = 0;
     r.vt = out.solve.run_stats.makespan();
-    char buf[128];
+    // Per-target attribution of the surviving flips: names the corrupted
+    // state class (solution / factor values / reduction partials) so the
+    // report localizes the fault, not just its symptom.
+    std::int64_t inj[3] = {0, 0, 0};
+    for (const auto& rs : out.solve.run_stats.ranks) {
+      for (int t = 0; t < 3; ++t) inj[t] += rs.sdc.injected_by[t];
+    }
+    char buf[192];
     std::snprintf(buf, sizeof(buf),
                   "end-of-solve residual %.3e exceeds gate %.3e; "
-                  "corruption survived the solve",
-                  static_cast<double>(out.residual), machine.abft.residual_tol);
+                  "corruption survived the solve (injected x=%lld l=%lld "
+                  "partial=%lld)",
+                  static_cast<double>(out.residual), machine.abft.residual_tol,
+                  static_cast<long long>(inj[0]), static_cast<long long>(inj[1]),
+                  static_cast<long long>(inj[2]));
     r.detail = buf;
     throw FaultError(std::move(r));
   }

@@ -61,6 +61,12 @@ struct SdcStats {
   std::int64_t checks = 0;           ///< epoch checksum verifications run
   std::int64_t residual_checks = 0;  ///< end-of-solve residual evaluations
   std::int64_t refine_iters = 0;     ///< degraded-mode refinement iterations
+  /// Per-target attribution of injected/corrected flips, indexed by
+  /// PerturbationModel::MemFaultTarget (kX / kLValues / kPartial). The
+  /// target is the plan's declared fault class — placement inside the
+  /// exposed state is target-independent (word_draw spans all live words).
+  std::int64_t injected_by[3] = {0, 0, 0};
+  std::int64_t corrected_by[3] = {0, 0, 0};
   double verify_time = 0.0;          ///< checksum verification time absorbed
   double repair_time = 0.0;          ///< recompute + escalation time
   double residual_time = 0.0;        ///< end-of-solve residual check time
@@ -73,6 +79,10 @@ struct SdcStats {
     checks += o.checks;
     residual_checks += o.residual_checks;
     refine_iters += o.refine_iters;
+    for (int t = 0; t < 3; ++t) {
+      injected_by[t] += o.injected_by[t];
+      corrected_by[t] += o.corrected_by[t];
+    }
     verify_time += o.verify_time;
     repair_time += o.repair_time;
     residual_time += o.residual_time;

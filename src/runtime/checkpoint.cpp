@@ -20,10 +20,42 @@ double crash_uniform(std::uint64_t seed, int rank, std::uint64_t* cseq) {
 
 }  // namespace
 
+DegradePlan build_degrade_plan(const RecoveryModel& rm, int nranks,
+                               const std::vector<int>& dead) {
+  (void)rm;  // reserved: future plans may weigh the detector window
+  DegradePlan plan;
+  if (nranks <= 0 || dead.empty()) return plan;
+  std::vector<char> is_dead(static_cast<std::size_t>(nranks), 0);
+  int ndead = 0;
+  for (const int d : dead) {
+    if (d < 0 || d >= nranks || is_dead[static_cast<std::size_t>(d)]) continue;
+    is_dead[static_cast<std::size_t>(d)] = 1;
+    ++ndead;
+  }
+  plan.victim = dead.back();
+  plan.survivors_after = nranks - ndead;
+  if (plan.victim < 0 || plan.victim >= nranks || plan.survivors_after <= 0) {
+    plan.survivors_after = std::max(plan.survivors_after, 0);
+    return plan;
+  }
+  for (int step = 1; step < nranks; ++step) {
+    const int cand = (plan.victim + step) % nranks;
+    if (!is_dead[static_cast<std::size_t>(cand)]) {
+      plan.adopter = cand;
+      break;
+    }
+  }
+  const int buddy = (plan.victim + 1) % nranks;
+  plan.image_survives =
+      (buddy != plan.victim && !is_dead[static_cast<std::size_t>(buddy)]) ? 1 : 0;
+  return plan;
+}
+
 CrashPlan build_crash_plan(const PerturbationModel& pm, const RecoveryModel& rm,
                            std::uint64_t seed, int nranks) {
   CrashPlan plan;
   plan.by_rank.resize(static_cast<std::size_t>(nranks));
+  plan.degrade_by_rank.resize(static_cast<std::size_t>(nranks));
   for (const auto& c : pm.crashes) {
     if (c.rank < 0 || c.rank >= nranks || !(c.vt >= 0.0)) continue;
     plan.by_rank[static_cast<std::size_t>(c.rank)].push_back({c.vt, -1});
@@ -63,6 +95,13 @@ CrashPlan build_crash_plan(const PerturbationModel& pm, const RecoveryModel& rm,
   }
   std::sort(order.begin(), order.end());
   int spares_used = 0;
+  // Elastic-degradation bookkeeping (consulted only under
+  // RunOptions::degrade, but precomputed unconditionally so the plan stays a
+  // pure function of the static schedule): which physical host runs each
+  // partition, and the ordered list of ranks degraded away so far.
+  std::vector<int> host(static_cast<std::size_t>(nranks));
+  for (int p = 0; p < nranks; ++p) host[static_cast<std::size_t>(p)] = p;
+  std::vector<int> degraded_dead;
   for (const auto& [vt, r, i] : order) {
     CrashEvent& ev = plan.by_rank[static_cast<std::size_t>(r)][i];
     const int buddy = (r + 1) % nranks;
@@ -79,6 +118,34 @@ CrashPlan build_crash_plan(const PerturbationModel& pm, const RecoveryModel& rm,
       ev.verdict = FaultKind::kSparesExhausted;
     } else {
       ev.spare = spares_used++;
+    }
+    if (ev.verdict == FaultKind::kNone) continue;
+    // Unrecoverable verdict: fix the elastic alternative now. The victim's
+    // partitions (its own plus any it previously adopted) move to the first
+    // survivor up the ring; every partition on the overloaded host gains a
+    // DegradeEvent raising its compute multiplier from this instant on.
+    degraded_dead.push_back(r);
+    DegradePlan dp = build_degrade_plan(rm, nranks, degraded_dead);
+    if (ev.verdict == FaultKind::kBuddyLoss) dp.image_survives = 0;
+    ev.adopter = dp.adopter;
+    ev.survivors_after = dp.survivors_after;
+    ev.image_survives = dp.image_survives;
+    if (dp.adopter < 0 || dp.survivors_after <= 0) continue;
+    std::int64_t moved = 0;
+    for (int p = 0; p < nranks; ++p) {
+      if (host[static_cast<std::size_t>(p)] == r) {
+        host[static_cast<std::size_t>(p)] = dp.adopter;
+        ++moved;
+      }
+    }
+    double load = 0.0;
+    for (int p = 0; p < nranks; ++p) {
+      if (host[static_cast<std::size_t>(p)] == dp.adopter) load += 1.0;
+    }
+    for (int p = 0; p < nranks; ++p) {
+      if (host[static_cast<std::size_t>(p)] != dp.adopter) continue;
+      plan.degrade_by_rank[static_cast<std::size_t>(p)].push_back(
+          {vt, load, p == dp.adopter ? moved : 0});
     }
   }
   return plan;

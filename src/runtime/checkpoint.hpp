@@ -72,6 +72,8 @@ struct RecoveryStats {
   std::int64_t checkpoint_bytes = 0; ///< bytes shipped to the buddy
   std::int64_t restores = 0;         ///< checkpoint images restored
   std::int64_t spares_used = 0;      ///< spare adoptions consumed by this rank
+  std::int64_t image_rejects = 0;    ///< images failing their payload checksum
+                                     ///< on fetch (escalated to full replay)
   double detect_time = 0.0;          ///< heartbeat detection latency absorbed
   double repair_time = 0.0;          ///< revoke/shrink/agree sweep time
   double restore_time = 0.0;         ///< buddy fetch + install time
@@ -84,6 +86,7 @@ struct RecoveryStats {
     checkpoint_bytes += o.checkpoint_bytes;
     restores += o.restores;
     spares_used += o.spares_used;
+    image_rejects += o.image_rejects;
     detect_time += o.detect_time;
     repair_time += o.repair_time;
     restore_time += o.restore_time;
@@ -92,6 +95,36 @@ struct RecoveryStats {
     return *this;
   }
   bool any() const { return crashes != 0 || checkpoints != 0; }
+};
+
+/// Per-rank graceful-degradation ledger (RunOptions::degrade): shrink,
+/// redistribution and replay cost of elastic recovery after the spare pool
+/// ran dry. All fields are 8-byte scalars so RankStats stays padding-free
+/// (tests memcmp it). All zero unless a degrade actually fired.
+struct DegradationStats {
+  std::int64_t degrades = 0;           ///< shrink-and-redistribute recoveries
+  std::int64_t ranks_lost = 0;         ///< ranks permanently retired at this rank
+  std::int64_t partitions_adopted = 0; ///< partitions this rank took over
+  std::int64_t redistributed_bytes = 0;///< checkpoint bytes shipped to adopters
+  double agree_time = 0.0;             ///< survivor agreement sweeps (2 per degrade)
+  double shrink_time = 0.0;            ///< survivor communicator rebuild sweep
+  double redistribute_time = 0.0;      ///< buddy-image wire time to the adopter
+  double replay_time = 0.0;            ///< replayed progress since the last epoch
+  double overload_time = 0.0;          ///< extra compute from hosting >1 partition
+
+  DegradationStats& operator+=(const DegradationStats& o) {
+    degrades += o.degrades;
+    ranks_lost += o.ranks_lost;
+    partitions_adopted += o.partitions_adopted;
+    redistributed_bytes += o.redistributed_bytes;
+    agree_time += o.agree_time;
+    shrink_time += o.shrink_time;
+    redistribute_time += o.redistribute_time;
+    replay_time += o.replay_time;
+    overload_time += o.overload_time;
+    return *this;
+  }
+  bool any() const { return degrades != 0 || partitions_adopted != 0; }
 };
 
 /// One captured solve-state image, conceptually resident at the owner's
@@ -149,13 +182,39 @@ struct CrashEvent {
   /// detection window (the checkpoint died with it); kSparesExhausted = the
   /// spare pool was already consumed by earlier crashes.
   FaultKind verdict = FaultKind::kNone;
+  /// Elastic-recovery plan for an unrecoverable verdict, precomputed so both
+  /// scheduler modes degrade identically under RunOptions::degrade (and
+  /// ignored entirely without it). `adopter` is the survivor that inherits
+  /// the victim's partition; `survivors_after` counts the post-shrink world
+  /// (<= 0: nobody left, FaultKind::kNoSurvivors); `image_survives` is 0
+  /// when the buddy image died with the buddy (kBuddyLoss, or a buddy that
+  /// was itself degraded away) and the adopter must replay from solve start.
+  int adopter = -1;
+  int survivors_after = -1;
+  int image_survives = 1;
+};
+
+/// One step of an adopter's overload schedule under RunOptions::degrade:
+/// from clean time `vt` on, every partition hosted on the adopter's physical
+/// rank runs at 1/mult speed (mult = partitions per host), so each clean
+/// compute second costs an extra (mult - 1) seconds on the fault clock.
+/// `adopt_delta` is nonzero only on the adopting partition's own event: the
+/// number of partitions it just inherited (DegradationStats attribution).
+struct DegradeEvent {
+  double vt = 0.0;
+  double mult = 1.0;
+  std::int64_t adopt_delta = 0;
 };
 
 /// The full schedule: per-rank crash events sorted by virtual time. A pure
 /// function of (PerturbationModel, RecoveryModel, seed, nranks) — no
 /// wall-clock state — so a failing schedule replays exactly.
+/// `degrade_by_rank` carries the per-partition overload schedule implied by
+/// the unrecoverable-verdict events; it is precomputed unconditionally
+/// (cheap) and consulted only under RunOptions::degrade.
 struct CrashPlan {
   std::vector<std::vector<CrashEvent>> by_rank;
+  std::vector<std::vector<DegradeEvent>> degrade_by_rank;
   bool any() const {
     for (const auto& v : by_rank) {
       if (!v.empty()) return true;
@@ -163,6 +222,24 @@ struct CrashPlan {
     return false;
   }
 };
+
+/// Pure geometry of one elastic shrink: who inherits the newest victim's
+/// partition and how many ranks remain. `dead` is the ordered list of ranks
+/// degraded away so far, newest last; duplicates are ignored. The adopter is
+/// the first survivor scanning up the rank ring from victim + 1 — the same
+/// deterministic rule on every rank, so survivors agree without
+/// communication. `image_survives` reflects only the ring state (buddy not
+/// yet degraded away); build_crash_plan additionally clears it for
+/// kBuddyLoss verdicts, where the buddy died inside the detection window.
+struct DegradePlan {
+  int victim = -1;
+  int adopter = -1;
+  int survivors_after = 0;
+  int image_survives = 0;
+};
+
+DegradePlan build_degrade_plan(const RecoveryModel& rm, int nranks,
+                               const std::vector<int>& dead);
 
 /// Deterministic serialization of an (index -> value-vector) map plus a
 /// progress cursor — the common shape of solver checkpoint state (x/y

@@ -156,6 +156,14 @@ struct RankCtx {
     MetricsRegistry::Counter abft_injected;
     MetricsRegistry::Counter abft_detected;
     MetricsRegistry::Counter abft_corrected;
+    /// Per-target ABFT attribution, indexed by MemFaultTarget (x/l/partial).
+    MetricsRegistry::Counter abft_injected_tgt[3];
+    MetricsRegistry::Counter abft_corrected_tgt[3];
+    MetricsRegistry::Counter image_rejects;
+    MetricsRegistry::Counter degrades;
+    MetricsRegistry::Counter degrade_ranks_lost;
+    MetricsRegistry::Counter degrade_adopted;
+    MetricsRegistry::Counter degrade_bytes;
   } mh;
 
   // --- flight recorder (always on, allocation-free; dumped into
@@ -163,7 +171,7 @@ struct RankCtx {
   struct FlightEntry {
     enum Kind : int {
       kNone = 0, kSend, kRecvWait, kRecvDone, kCollective, kCrash, kCheckpoint,
-      kSdc
+      kSdc, kDegrade
     };
     Kind kind = kNone;
     int peer = -1;          ///< dst/src global rank (-1 wildcard/none)
@@ -215,6 +223,17 @@ struct RankCtx {
   };
   std::vector<CheckpointHook> hooks;
 
+  // --- graceful degradation (docs/ROBUSTNESS.md §Graceful degradation) ---
+  bool degrade = false;          ///< RunOptions::degrade
+  /// This partition's overload schedule (null = degrade off or never
+  /// overloaded): precomputed DegradeEvents raising the compute multiplier
+  /// when the hosting physical rank adopts extra partitions.
+  const std::vector<DegradeEvent>* degrade_events = nullptr;
+  std::size_t degrade_idx = 0;   ///< next unfired event (re-armed by
+                                 ///< reset_clock like crash_idx)
+  double degrade_mult = 1.0;     ///< current partitions-per-host multiplier
+  DegradationStats dstats;       ///< degradation ledger (fault side)
+
   // --- silent data corruption + ABFT (docs/ROBUSTNESS.md §SDC) ---
   /// This rank's slice of the memory-fault plan (null = no SDC schedule).
   const std::vector<SdcEvent>* sdc_events = nullptr;
@@ -246,6 +265,28 @@ struct RankCtx {
         vt >= (*crash_events)[crash_idx].vt) {
       process_crash();
     }
+    // Elastic-degradation overload: once this partition's host adopted extra
+    // partitions, every clean compute second really takes `mult` seconds on
+    // the shrunken machine. The extra rides the fault clock only, and also
+    // crash_total so the recv/collective fault-clock rewrites re-apply a
+    // charge that landed inside their own advance (same guard as crashes).
+    if (degrade_events != nullptr) {
+      while (degrade_idx < degrade_events->size() &&
+             vt >= (*degrade_events)[degrade_idx].vt) {
+        const DegradeEvent de = (*degrade_events)[degrade_idx++];
+        degrade_mult = de.mult;
+        if (de.adopt_delta > 0) {
+          dstats.partitions_adopted += de.adopt_delta;
+          mh.degrade_adopted.add(de.adopt_delta);
+        }
+      }
+      if (degrade_mult > 1.0 && cat == TimeCategory::kFp) {
+        const double extra = (degrade_mult - 1.0) * seconds;
+        fvt += extra;
+        crash_total += extra;
+        dstats.overload_time += extra;
+      }
+    }
     if (vt > vt_limit) {
       FaultReport r;
       r.kind = FaultKind::kVtLimit;
@@ -271,17 +312,24 @@ struct RankCtx {
       rstats.crashes += 1;
       const int buddy = ckpt->buddy_of(grank);
       if (ev.verdict != FaultKind::kNone) {
-        FaultReport r;
-        r.kind = ev.verdict;
-        r.rank = grank;
-        r.peer = buddy;
-        r.vt = ev.vt;
-        r.detail = ev.verdict == FaultKind::kBuddyLoss
-                       ? "rank and its checkpoint buddy died inside one "
-                         "detection window; no image survives to restore from"
-                       : "crash outlived the spare-rank pool; no identity "
-                         "left to adopt";
-        throw FaultError(std::move(r));
+        if (!degrade || ev.survivors_after <= 0 || ev.adopter < 0) {
+          FaultReport r;
+          r.kind = degrade ? FaultKind::kNoSurvivors : ev.verdict;
+          r.rank = grank;
+          r.peer = buddy;
+          r.vt = ev.vt;
+          r.detail =
+              degrade ? "elastic degradation found no survivor to adopt the "
+                        "dead rank's partition"
+              : ev.verdict == FaultKind::kBuddyLoss
+                  ? "rank and its checkpoint buddy died inside one "
+                    "detection window; no image survives to restore from"
+                  : "crash outlived the spare-rank pool; no identity "
+                    "left to adopt";
+          throw FaultError(std::move(r));
+        }
+        process_degrade(ev);
+        continue;
       }
       const RecoveryModel& rm = mach->recovery;
       const double t = ev.vt;
@@ -296,10 +344,15 @@ struct RankCtx {
       double restore = 0.0;
       double replay = t * rm.replay_factor;  // no epoch yet: replay from start
       const CheckpointImage* img = ckpt->latest(grank);
+      if (img != nullptr && payload_checksum(img->state) != img->checksum) {
+        // The image was silently corrupted after capture: reject it instead
+        // of resurrecting bad state, and fall through to replay-from-start
+        // (the recompute path needs no image).
+        rstats.image_rejects += 1;
+        mh.image_rejects.add();
+        img = nullptr;
+      }
       if (img != nullptr) {
-        if (payload_checksum(img->state) != img->checksum) {
-          throw std::logic_error("buddy checkpoint: image fails its checksum");
-        }
         const double bytes = static_cast<double>(img->state.size()) * sizeof(Real);
         restore = rm.restore_overhead + mach->net.latency +
                   bytes / mach->net.bandwidth;
@@ -335,6 +388,80 @@ struct RankCtx {
     }
   }
 
+  /// Elastic shrink-and-redistribute (RunOptions::degrade) for a crash whose
+  /// verdict was terminal: the survivors agree on the dead set (two
+  /// survivor-sized sweeps), shrink the world (one sweep), and the ring
+  /// adopter pulls the victim's partition from the surviving buddy image,
+  /// replaying the work since that epoch. Modeled analytically at the
+  /// victim's context — the victim thread keeps executing its partition,
+  /// which is bit-for-bit the work the adopter performs after the shrink
+  /// (the solvers' reduction order is partition-parametric), so the clean
+  /// ledger is untouched by construction; every cost lands on the fault
+  /// clock and DegradationStats. The adopter's ongoing overload is charged
+  /// separately by the DegradeEvent stream in advance().
+  void process_degrade(const CrashEvent& ev) {
+    const RecoveryModel& rm = mach->recovery;
+    const double t = ev.vt;
+    const double detect =
+        (std::floor(t / rm.heartbeat_period) +
+         static_cast<double>(rm.heartbeat_misses)) * rm.heartbeat_period - t;
+    // Repair sweeps are sized to the surviving world, not the original one.
+    const double sweep = 2.0 * log2_ceil(ev.survivors_after) *
+                         (mach->net.latency + mach->mpi_overhead);
+    const double agree = 2.0 * sweep;
+    const double shrink = sweep;
+    double redistribute = 0.0;
+    double replay = t * rm.replay_factor;  // image lost: replay from start
+    const CheckpointImage* img =
+        ev.image_survives != 0 ? ckpt->latest(grank) : nullptr;
+    if (img != nullptr && payload_checksum(img->state) != img->checksum) {
+      // Same integrity gate as spare restores: a corrupt image escalates to
+      // replay-from-start instead of resurrecting corruption.
+      rstats.image_rejects += 1;
+      mh.image_rejects.add();
+      img = nullptr;
+    }
+    std::int64_t rbytes = 0;
+    if (img != nullptr) {
+      const double bytes = static_cast<double>(img->state.size()) * sizeof(Real);
+      rbytes = static_cast<std::int64_t>(bytes);
+      redistribute = rm.restore_overhead + mach->net.latency +
+                     bytes / mach->net.bandwidth;
+      replay = (t - img->vt) * rm.replay_factor;
+      for (auto it = hooks.rbegin(); it != hooks.rend(); ++it) {
+        if (std::strcmp(it->label, img->label) == 0) {
+          it->restore(*img);
+          break;
+        }
+      }
+      rstats.restores += 1;
+    }
+    rstats.detect_time += detect;
+    dstats.degrades += 1;
+    dstats.ranks_lost += 1;
+    dstats.redistributed_bytes += rbytes;
+    dstats.agree_time += agree;
+    dstats.shrink_time += shrink;
+    dstats.redistribute_time += redistribute;
+    dstats.replay_time += replay;
+    mh.crashes.add();
+    mh.recovery_sweeps.add(3);  // two agreement sweeps + the shrink
+    mh.degrades.add();
+    mh.degrade_ranks_lost.add();
+    mh.degrade_bytes.add(rbytes);
+    flight_record(FlightEntry::kDegrade, ev.adopter, ev.survivors_after,
+                  img ? static_cast<int>(img->epoch) : -1, rbytes);
+    const double delay = detect + agree + shrink + redistribute + replay;
+    fvt += delay;
+    crash_total += delay;
+    if (tracing) {
+      trace.marks.push_back(
+          {"shrink", t, static_cast<std::int64_t>(ev.survivors_after)});
+      trace.marks.push_back(
+          {"redistribute", t + delay, static_cast<std::int64_t>(ev.adopter)});
+    }
+  }
+
   /// Fires at every checkpoint epoch while an SDC schedule or ABFT is
   /// active: lands every armed memory fault the clean clock has passed as a
   /// bit flip in the innermost hook's live solver state, then (with ABFT on)
@@ -358,6 +485,7 @@ struct RankCtx {
       Real original;
       int bit;
       double refail_draw;
+      int target;  ///< MemFaultTarget ordinal, for per-target attribution
     };
     Flip flips[8];
     std::size_t nflips = 0;
@@ -376,12 +504,15 @@ struct RankCtx {
         while (idx >= spans[si].size()) idx -= spans[si++].size();
         Real& v = spans[si][idx];
         if (v == 0.0) continue;
-        flips[nflips++] = {si, idx, v, ev.bit, ev.refail_draw};
+        flips[nflips++] = {si,     idx,           v,
+                           ev.bit, ev.refail_draw, static_cast<int>(ev.target)};
         std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
         bits ^= std::uint64_t{1} << ev.bit;
         v = std::bit_cast<Real>(bits);
         sdc.injected += 1;
+        sdc.injected_by[static_cast<int>(ev.target)] += 1;
         mh.abft_injected.add();
+        mh.abft_injected_tgt[static_cast<int>(ev.target)].add();
         flight_record(FlightEntry::kSdc, -1, static_cast<int>(ev.target),
                       ev.bit, 0);
         if (tracing) {
@@ -423,9 +554,11 @@ struct RankCtx {
         sdc.escalated += 1;
       }
       sdc.corrected += 1;
+      sdc.corrected_by[f.target] += 1;
       sdc.repair_time += rcost;
       fvt += rcost;
       mh.abft_corrected.add();
+      mh.abft_corrected_tgt[f.target].add();
       if (tracing) {
         trace.marks.push_back(
             {"sdc-correct", vt, static_cast<std::int64_t>(f.bit)});
@@ -794,6 +927,12 @@ class ClusterState {
         ctx.crash_events = &crash_plan_.by_rank[static_cast<size_t>(r)];
         ctx.ckpt = ckpt_.get();
         ctx.ulfm_sweep = sweep;
+        ctx.degrade = opts_.degrade;
+        if (opts_.degrade &&
+            !crash_plan_.degrade_by_rank[static_cast<size_t>(r)].empty()) {
+          ctx.degrade_events =
+              &crash_plan_.degrade_by_rank[static_cast<size_t>(r)];
+        }
       }
       if (sdc) ctx.sdc_events = &sdc_plan_.by_rank[static_cast<size_t>(r)];
       ctx.abft = opts_.abft;
@@ -831,6 +970,17 @@ class ClusterState {
         mh.abft_injected = m->counter("abft.injected");
         mh.abft_detected = m->counter("abft.detected");
         mh.abft_corrected = m->counter("abft.corrected");
+        mh.abft_injected_tgt[0] = m->counter("abft.injected.x");
+        mh.abft_injected_tgt[1] = m->counter("abft.injected.l");
+        mh.abft_injected_tgt[2] = m->counter("abft.injected.partial");
+        mh.abft_corrected_tgt[0] = m->counter("abft.corrected.x");
+        mh.abft_corrected_tgt[1] = m->counter("abft.corrected.l");
+        mh.abft_corrected_tgt[2] = m->counter("abft.corrected.partial");
+        mh.image_rejects = m->counter("recovery.image_rejects");
+        mh.degrades = m->counter("recovery.degrade.events");
+        mh.degrade_ranks_lost = m->counter("recovery.degrade.ranks_lost");
+        mh.degrade_adopted = m->counter("recovery.degrade.adopted");
+        mh.degrade_bytes = m->counter("recovery.degrade.bytes");
       }
     }
     if (sched_ != nullptr && opts_.metrics) {
@@ -903,6 +1053,11 @@ class ClusterState {
             std::snprintf(buf, sizeof(buf),
                           "rank %zu: vt=%.9g sdc(target=%d, bit=%d)", r, e.vt,
                           e.a, e.b);
+            break;
+          case RankCtx::FlightEntry::kDegrade:
+            std::snprintf(buf, sizeof(buf),
+                          "rank %zu: vt=%.9g degrade(adopter=%d, survivors=%d)",
+                          r, e.vt, e.peer, e.a);
             break;
           case RankCtx::FlightEntry::kNone:
             continue;
@@ -1362,6 +1517,10 @@ void Comm::reset_clock() {
   // clock and the ABFT ledger restarts with the run it accounts for.
   ctx_->sdc = SdcStats{};
   ctx_->sdc_idx = 0;
+  // Degrade events ride the crash schedule's clock, so they re-arm with it.
+  ctx_->dstats = DegradationStats{};
+  ctx_->degrade_idx = 0;
+  ctx_->degrade_mult = 1.0;
   if (ctx_->ckpt != nullptr) ctx_->ckpt->clear(ctx_->grank);
   // Setup-phase events would break the fresh clock's contiguity; drop them.
   // send_seq is deliberately NOT reset: a pre-reset send could otherwise
@@ -2107,6 +2266,17 @@ void Comm::checkpoint_epoch(std::int64_t arg) {
   img.label = hook.label;
   img.state = hook.capture();
   img.checksum = payload_checksum(img.state);
+  // Latent image corruption (PerturbationModel::ckpt_faults): the bit flips
+  // *after* the checksum is stamped, so the damage stays invisible until a
+  // restore or degrade fetch validates the image and rejects it.
+  for (const auto& cf : machine().perturb.ckpt_faults) {
+    if (cf.rank == c->grank && cf.epoch == img.epoch && !img.state.empty()) {
+      std::uint64_t bits = std::bit_cast<std::uint64_t>(img.state[0]);
+      bits ^= std::uint64_t{1} << 46;
+      img.state[0] = std::bit_cast<Real>(bits);
+      break;
+    }
+  }
   // Shipment to the buddy rides the fault ledger only: capture overhead
   // plus the modeled wire time of the image. The clean clock never moves,
   // so checkpoint cadence cannot perturb the modeled solve.
@@ -2250,6 +2420,7 @@ std::uint64_t Cluster::Result::fault_fingerprint() const {
     mix(static_cast<std::uint64_t>(rec.checkpoint_bytes));
     mix(static_cast<std::uint64_t>(rec.restores));
     mix(static_cast<std::uint64_t>(rec.spares_used));
+    mix(static_cast<std::uint64_t>(rec.image_rejects));
     mix(std::bit_cast<std::uint64_t>(rec.detect_time));
     mix(std::bit_cast<std::uint64_t>(rec.repair_time));
     mix(std::bit_cast<std::uint64_t>(rec.restore_time));
@@ -2263,9 +2434,23 @@ std::uint64_t Cluster::Result::fault_fingerprint() const {
     mix(static_cast<std::uint64_t>(s.checks));
     mix(static_cast<std::uint64_t>(s.residual_checks));
     mix(static_cast<std::uint64_t>(s.refine_iters));
+    for (int t = 0; t < 3; ++t) {
+      mix(static_cast<std::uint64_t>(s.injected_by[t]));
+      mix(static_cast<std::uint64_t>(s.corrected_by[t]));
+    }
     mix(std::bit_cast<std::uint64_t>(s.verify_time));
     mix(std::bit_cast<std::uint64_t>(s.repair_time));
     mix(std::bit_cast<std::uint64_t>(s.residual_time));
+    const DegradationStats& d = r.degradation;
+    mix(static_cast<std::uint64_t>(d.degrades));
+    mix(static_cast<std::uint64_t>(d.ranks_lost));
+    mix(static_cast<std::uint64_t>(d.partitions_adopted));
+    mix(static_cast<std::uint64_t>(d.redistributed_bytes));
+    mix(std::bit_cast<std::uint64_t>(d.agree_time));
+    mix(std::bit_cast<std::uint64_t>(d.shrink_time));
+    mix(std::bit_cast<std::uint64_t>(d.redistribute_time));
+    mix(std::bit_cast<std::uint64_t>(d.replay_time));
+    mix(std::bit_cast<std::uint64_t>(d.overload_time));
   }
   return h;
 }
@@ -2279,6 +2464,12 @@ RecoveryStats Cluster::Result::recovery_stats() const {
 SdcStats Cluster::Result::sdc_stats() const {
   SdcStats total;
   for (const auto& r : ranks) total += r.sdc;
+  return total;
+}
+
+DegradationStats Cluster::Result::degradation_stats() const {
+  DegradationStats total;
+  for (const auto& r : ranks) total += r.degradation;
   return total;
 }
 
@@ -2374,6 +2565,7 @@ Cluster::Result Cluster::run_impl(int nranks, const MachineModel& machine,
     out.transport = state.rank(r).tstats;
     out.recovery = state.rank(r).rstats;
     out.sdc = state.rank(r).sdc;
+    out.degradation = state.rank(r).dstats;
     for (int c = 0; c < kNumTimeCategories; ++c) {
       out.category[c] = state.rank(r).category[c];
       out.messages[c] = state.rank(r).messages[c];

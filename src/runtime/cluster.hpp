@@ -156,6 +156,17 @@ struct RunOptions {
   /// to iterative refinement instead of failing with
   /// FaultKind::kSilentCorruption (see solve_system_3d_verified).
   bool sdc_repair = false;
+  /// Elastic recovery: when a crash draws an unrecoverable verdict
+  /// (kSparesExhausted / kBuddyLoss), shrink the world onto the survivors
+  /// and redistribute the victim's partition from the surviving buddy image
+  /// instead of aborting (docs/ROBUSTNESS.md §Graceful degradation). The
+  /// clean ledger stays bitwise fault-invariant — the solvers' pinned FP
+  /// reduction order is partition-parametric, not world-size-parametric —
+  /// while agree/shrink/redistribute/replay and the adopter's overload ride
+  /// the fault ledger (Result::degradation_stats, recovery.degrade.*
+  /// metrics). Only running out of survivors (FaultKind::kNoSurvivors) is
+  /// still terminal.
+  bool degrade = false;
 };
 
 /// A received message.
@@ -400,6 +411,7 @@ struct RankStats {
   TransportStats transport;
   RecoveryStats recovery;
   SdcStats sdc;
+  DegradationStats degradation;
 };
 
 /// Distribution summary of one per-rank statistic (Figs 7-8 load-balance
@@ -459,6 +471,11 @@ class Cluster {
     /// without an SDC schedule or ABFT — like every other fault class, SDC
     /// cost never reaches the clean ledger.
     SdcStats sdc_stats() const;
+    /// Sum of every rank's graceful-degradation counters (shrinks, ranks
+    /// lost, partitions adopted, redistribution traffic, agree/shrink/
+    /// redistribute/replay/overload time). All zero unless
+    /// RunOptions::degrade absorbed an otherwise-unrecoverable crash.
+    DegradationStats degradation_stats() const;
     /// Mean over ranks of one category (paper plots rank-averaged bars).
     double mean_category(TimeCategory cat) const;
     double max_category(TimeCategory cat) const;

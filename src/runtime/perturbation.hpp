@@ -117,6 +117,17 @@ struct PerturbationModel {
   /// after each crash, so >1 models repeated failures of the same slot).
   int crash_max_per_rank = 1;
 
+  /// Deterministic checkpoint-image corruption: flip one bit in the image
+  /// rank `rank` captures at epoch `epoch`, after its payload checksum is
+  /// stamped — so the corruption is latent until a restore or degrade fetch
+  /// validates the image, rejects it (RecoveryStats::image_rejects) and
+  /// escalates to replay-from-start instead of resurrecting bad state.
+  struct CheckpointFault {
+    int rank = -1;
+    std::int64_t epoch = -1;
+  };
+  std::vector<CheckpointFault> ckpt_faults;
+
   // --- silent data corruption (ABFT layer, docs/ROBUSTNESS.md) ---
   // Memory faults flip bits in modeled solver state (solution entries,
   // local factor values, reduction partials) at level/epoch boundaries.

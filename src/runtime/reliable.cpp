@@ -48,6 +48,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kBuddyLoss: return "buddy-loss";
     case FaultKind::kSparesExhausted: return "spares-exhausted";
     case FaultKind::kSilentCorruption: return "silent-corruption";
+    case FaultKind::kNoSurvivors: return "no-survivors";
   }
   return "?";
 }

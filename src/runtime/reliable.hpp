@@ -98,6 +98,8 @@ enum class FaultKind : int {
   kBuddyLoss,         ///< crashed rank and its checkpoint buddy both died
   kSparesExhausted,   ///< more crashes than the spare-rank pool could absorb
   kSilentCorruption,  ///< residual check caught uncorrected memory faults
+  kNoSurvivors,       ///< elastic degradation ran out of survivors to adopt
+                      ///< the dead ranks' partitions (RunOptions::degrade)
 };
 
 const char* fault_kind_name(FaultKind k);

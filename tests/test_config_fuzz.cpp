@@ -159,6 +159,79 @@ TEST_P(ConfigFuzzTest, CleanLedgerInvariantUnderCrashAndDeliveryFaults) {
   }
 }
 
+TEST_P(ConfigFuzzTest, CleanLedgerInvariantUnderElasticDegradation) {
+  const FuzzCase& c = GetParam();
+  const CsrMatrix a = make_grid2d(14, 14, Stencil2d::kNinePoint, {.seed = c.seed});
+
+  AnalyzeOptions aopt;
+  aopt.nd.levels = c.nd_levels;
+  aopt.supernode.max_width = c.max_width;
+  aopt.supernode.relax_width = c.relax;
+  const FactoredSystem fs = analyze_and_factor(a, aopt);
+
+  const std::vector<Real> b = test::random_rhs(a.rows(), c.nrhs, c.seed ^ 1);
+
+  SolveConfig cfg;
+  cfg.shape = c.shape;
+  cfg.algorithm = c.alg;
+  cfg.nrhs = c.nrhs;
+  cfg.run = RunOptions{.deterministic = true, .seed = c.seed};
+  const DistSolveOutcome clean =
+      solve_system_3d(fs, b, cfg, MachineModel::cori_haswell());
+
+  // The harshest sampled regime: an empty spare pool with elastic degrade
+  // armed, delivery faults, an explicit mid-solve death, a Poisson crash
+  // MTBF on top, and an SDC stream corrected by ABFT. Whatever fires, the
+  // only legitimate terminal verdict is kNoSurvivors (the survivor quorum
+  // genuinely ran out); a completed run must match the fault-free twin bit
+  // for bit on the clean ledger.
+  cfg.run.degrade = true;
+  cfg.run.abft = true;
+  MachineModel m = MachineModel::cori_haswell();
+  m.recovery.spare_ranks = 0;
+  std::mt19937_64 knobs(c.seed ^ 0xDE64);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  m.perturb.drop_prob = 0.10 * u01(knobs);
+  m.perturb.dup_prob = 0.05 * u01(knobs);
+  m.perturb.corrupt_prob = 0.02 * u01(knobs);
+  m.perturb.reorder_prob = 0.05 * u01(knobs);
+  m.perturb.reorder_window = 5e-6;
+  m.perturb.sdc_rate = 2e4 * u01(knobs);
+  // Rare extra deaths beyond the scheduled one (expected << 1 per rank).
+  m.perturb.crash_mtbf = (4.0 + 8.0 * u01(knobs)) * clean.run_stats.makespan();
+  const int nranks = c.shape.px * c.shape.py * c.shape.pz;
+  const int victim = nranks > 1 ? 1 + static_cast<int>(knobs() %
+                                      static_cast<std::uint64_t>(nranks - 1))
+                                : -1;
+  if (victim >= 0) {
+    const double t =
+        (0.25 + 0.5 * u01(knobs)) *
+        clean.run_stats.ranks[static_cast<size_t>(victim)].vtime;
+    m.perturb.crashes.push_back({victim, t});
+  }
+  try {
+    const DistSolveOutcome faulty = solve_system_3d(fs, b, cfg, m);
+    ASSERT_EQ(clean.x.size(), faulty.x.size());
+    for (size_t i = 0; i < clean.x.size(); ++i) {
+      ASSERT_EQ(std::memcmp(&clean.x[i], &faulty.x[i], sizeof(Real)), 0)
+          << "solution bit " << i << " moved under elastic degradation";
+    }
+    EXPECT_EQ(clean.run_stats.fingerprint(), faulty.run_stats.fingerprint());
+    EXPECT_DOUBLE_EQ(clean.run_stats.makespan(), faulty.run_stats.makespan());
+    EXPECT_EQ(faulty.run_stats.recovery_stats().spares_used, 0);
+    if (victim >= 0) {
+      // The scheduled death had no spare: it must have degraded.
+      EXPECT_GE(faulty.run_stats.degradation_stats().degrades, 1);
+      EXPECT_GE(faulty.run_stats.degradation_stats().ranks_lost, 1);
+      EXPECT_GT(faulty.run_stats.fault_makespan(), faulty.run_stats.makespan());
+    }
+  } catch (const FaultError& fe) {
+    // Only a genuinely exhausted survivor quorum may be terminal here —
+    // never a spare-pool or buddy verdict, which degrade absorbs.
+    EXPECT_EQ(fe.report.kind, FaultKind::kNoSurvivors) << fe.report.to_string();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Sweep, ConfigFuzzTest, ::testing::ValuesIn(make_cases()),
                          [](const auto& info) { return info.param.name; });
 

@@ -258,6 +258,53 @@ TEST(SdcAllreduce, AbftCorrectsFlipsInReductionPartials) {
   }
 }
 
+TEST(SdcAttribution, PerTargetLedgersSplitInjectionAndCorrection) {
+  const CsrMatrix a = make_paper_matrix(PaperMatrix::kS2D9pt2048, MatrixScale::kTiny);
+  const FactoredSystem fs = analyze_and_factor(a, /*nd_levels=*/3);
+  const auto b = random_rhs(a.rows(), 1, 42);
+  SolveConfig cfg;
+  cfg.shape = {2, 2, 2};
+  cfg.run = det_opts(0);
+  const DistSolveOutcome clean = solve_system_3d(fs, b, cfg, test_machine());
+
+  // One fault per declared target class. The target is the plan's fault
+  // attribution (placement inside the exposed state is target-independent),
+  // so the per-target ledgers must split exactly along these labels.
+  using Target = PerturbationModel::MemFaultTarget;
+  const double vt3 = clean.run_stats.ranks[3].vtime;
+  const MachineModel m = sdc_machine({{0, 0.0, Target::kX},
+                                      {3, 0.4 * vt3, Target::kPartial},
+                                      {3, 0.7 * vt3, Target::kLValues}});
+  cfg.run.abft = true;
+  cfg.run.metrics = true;
+  const DistSolveOutcome faulty = solve_system_3d(fs, b, cfg, m);
+
+  const SdcStats s = faulty.run_stats.sdc_stats();
+  ASSERT_GE(s.injected, 3);
+  EXPECT_EQ(s.injected_by[0] + s.injected_by[1] + s.injected_by[2], s.injected);
+  EXPECT_GE(s.injected_by[0], 1);  // x
+  EXPECT_GE(s.injected_by[1], 1);  // L values
+  EXPECT_GE(s.injected_by[2], 1);  // reduction partial
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(s.corrected_by[t], s.injected_by[t]) << "target " << t;
+  }
+  // The metric registry mirrors the same split.
+  ASSERT_NE(faulty.run_stats.metrics, nullptr);
+  const MetricsReport& rep = *faulty.run_stats.metrics;
+  EXPECT_DOUBLE_EQ(rep.total("abft.injected.x"),
+                   static_cast<double>(s.injected_by[0]));
+  EXPECT_DOUBLE_EQ(rep.total("abft.injected.l"),
+                   static_cast<double>(s.injected_by[1]));
+  EXPECT_DOUBLE_EQ(rep.total("abft.injected.partial"),
+                   static_cast<double>(s.injected_by[2]));
+  EXPECT_DOUBLE_EQ(rep.total("abft.corrected.x") + rep.total("abft.corrected.l") +
+                       rep.total("abft.corrected.partial"),
+                   static_cast<double>(s.corrected));
+  // Attribution is bookkeeping only: the clean ledger is still untouched.
+  EXPECT_TRUE(bitwise_equal(faulty.x, clean.x));
+  EXPECT_EQ(faulty.run_stats.fingerprint(), clean.run_stats.fingerprint());
+}
+
 TEST(SdcAbft, RecomputeRefailEscalatesToRestoreCost) {
   const CsrMatrix a = make_paper_matrix(PaperMatrix::kS2D9pt2048, MatrixScale::kTiny);
   const FactoredSystem fs = analyze_and_factor(a, /*nd_levels=*/3);
