@@ -10,6 +10,12 @@
 /// relative increase beyond --tol (default 0.10) is a regression. Exit
 /// codes: 0 no regressions, 1 regressions found, 2 usage or IO failure.
 ///
+/// Reports whose per-rank row sets differ (metric.<name>.rank<N> rows
+/// appearing on one side only — e.g. a run that degraded to fewer ranks or
+/// re-expanded) are not silently skipped: the added/removed ranks are
+/// listed per metric as a RANKSET line and each mismatched metric counts
+/// as one regression. Files present on one side only are reported too.
+///
 /// --self-test writes a baseline and a deliberately regressed copy into a
 /// scratch directory and checks both comparison outcomes; it is wired into
 /// ctest so the regression exit path stays exercised.
@@ -109,8 +115,33 @@ bool load_dir(const fs::path& dir, std::map<std::string, Report>& out) {
   return true;
 }
 
+/// Splits "metric.cluster.wait_time.rank3" into the metric stem and the
+/// rank index; false when the key carries no ".rank<N>" suffix.
+bool split_rank_key(const std::string& key, std::string* stem, int* rank) {
+  const size_t at = key.rfind(".rank");
+  if (at == std::string::npos) return false;
+  const char* digits = key.c_str() + at + 5;
+  if (*digits == '\0') return false;
+  char* end = nullptr;
+  const long r = std::strtol(digits, &end, 10);
+  if (*end != '\0' || r < 0) return false;
+  *stem = key.substr(0, at);
+  *rank = static_cast<int>(r);
+  return true;
+}
+
+std::string fmt_ranks(const std::vector<int>& v) {
+  std::string s = "{";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(v[i]);
+  }
+  return s + "}";
+}
+
 /// Compares candidate against baseline; returns the number of regressions
-/// (relative increase > tol on any value, all lower-is-better).
+/// (relative increase > tol on any value, all lower-is-better, plus one
+/// per metric whose per-rank row set changed).
 int compare_dirs(const fs::path& base_dir, const fs::path& cand_dir, double tol,
                  bool quiet = false) {
   std::map<std::string, Report> base, cand;
@@ -125,6 +156,42 @@ int compare_dirs(const fs::path& base_dir, const fs::path& cand_dir, double tol,
                      file.c_str());
       }
       continue;
+    }
+    // Keys present on one side only. A degraded or re-expanded run changes
+    // which metric.<name>.rank<N> rows exist; skipping them silently would
+    // let a world-size change pass as "no regressions". Group the
+    // mismatches by metric stem and report the rank sets explicitly; every
+    // other one-sided key gets a warning.
+    std::map<std::string, std::pair<std::vector<int>, std::vector<int>>> ranksets;
+    for (const auto& [name, bv] : b.values) {
+      if (it->second.values.count(name) != 0) continue;
+      std::string stem;
+      int rk = -1;
+      if (split_rank_key(name, &stem, &rk)) {
+        ranksets[stem].second.push_back(rk);  // removed in candidate
+      } else if (!quiet) {
+        std::fprintf(stderr, "bench_compare: %s value %s missing from candidate\n",
+                     file.c_str(), name.c_str());
+      }
+    }
+    for (const auto& [name, cv] : it->second.values) {
+      if (b.values.count(name) != 0) continue;
+      std::string stem;
+      int rk = -1;
+      if (split_rank_key(name, &stem, &rk)) {
+        ranksets[stem].first.push_back(rk);  // added by candidate
+      } else if (!quiet) {
+        std::fprintf(stderr, "bench_compare: %s value %s only in candidate\n",
+                     file.c_str(), name.c_str());
+      }
+    }
+    for (const auto& [stem, delta] : ranksets) {
+      ++regressions;
+      if (!quiet) {
+        std::printf("RANKSET %s %s: ranks added %s, removed %s\n", file.c_str(),
+                    stem.c_str(), fmt_ranks(delta.first).c_str(),
+                    fmt_ranks(delta.second).c_str());
+      }
     }
     for (const auto& [name, bv] : b.values) {
       const auto vt = it->second.values.find(name);
@@ -143,6 +210,11 @@ int compare_dirs(const fs::path& base_dir, const fs::path& cand_dir, double tol,
       }
     }
   }
+  for (const auto& [file, c] : cand) {
+    if (base.count(file) == 0 && !quiet) {
+      std::fprintf(stderr, "bench_compare: %s only in candidate\n", file.c_str());
+    }
+  }
   if (!quiet) {
     std::printf("compared %d values across %zu matched reports: %d regression%s\n",
                 compared, base.size(), regressions, regressions == 1 ? "" : "s");
@@ -158,9 +230,11 @@ bool write_file(const fs::path& path, const std::string& text) {
 }
 
 /// Proves the regression exit path: a clean pair compares equal, an
-/// injected +50% makespan is flagged, and a regression confined to one
-/// rank's metric row (metric.<name>.rank<N>) is flagged even though the
-/// cross-rank total is unchanged. Returns the process exit code.
+/// injected +50% makespan is flagged, a regression confined to one rank's
+/// metric row (metric.<name>.rank<N>) is flagged even though the
+/// cross-rank total is unchanged, and a candidate whose per-rank row set
+/// changed (rank row removed, another added) is flagged as a RANKSET
+/// mismatch instead of being silently skipped. Returns the exit code.
 int self_test() {
   const fs::path root = fs::temp_directory_path() / "sptrsv_bench_compare_selftest";
   std::error_code ec;
@@ -173,6 +247,8 @@ int self_test() {
   fs::create_directories(regressed, ec);
   const fs::path skewed = root / "skewed";
   fs::create_directories(skewed, ec);
+  const fs::path reshaped = root / "reshaped";
+  fs::create_directories(reshaped, ec);
   const char* doc_base =
       "{\"schema\":\"sptrsv-bench/1\",\"point\":\"new_2x2x4\","
       "\"values\":{\"makespan\":0.001,\"metric.cluster.messages.z\":128,"
@@ -190,16 +266,26 @@ int self_test() {
       "\"values\":{\"makespan\":0.001,\"metric.cluster.messages.z\":128,"
       "\"metric.cluster.wait_time.rank0\":0.00005,"
       "\"metric.cluster.wait_time.rank1\":0.0002}}\n";
+  // Same values where comparable, but rank 1's row vanished and a rank 2
+  // row appeared — the world changed size. Must surface as a RANKSET
+  // mismatch, not be silently skipped by the key-matching loop.
+  const char* doc_reshaped =
+      "{\"schema\":\"sptrsv-bench/1\",\"point\":\"new_2x2x4\","
+      "\"values\":{\"makespan\":0.001,\"metric.cluster.messages.z\":128,"
+      "\"metric.cluster.wait_time.rank0\":0.0001,"
+      "\"metric.cluster.wait_time.rank2\":0.0001}}\n";
   if (!write_file(base / "000_new_2x2x4.json", doc_base) ||
       !write_file(same / "000_new_2x2x4.json", doc_base) ||
       !write_file(regressed / "000_new_2x2x4.json", doc_regressed) ||
-      !write_file(skewed / "000_new_2x2x4.json", doc_skewed)) {
+      !write_file(skewed / "000_new_2x2x4.json", doc_skewed) ||
+      !write_file(reshaped / "000_new_2x2x4.json", doc_reshaped)) {
     std::fprintf(stderr, "self-test: cannot write scratch reports\n");
     return 2;
   }
   const int clean = compare_dirs(base, same, 0.10, /*quiet=*/true);
   const int dirty = compare_dirs(base, regressed, 0.10, /*quiet=*/true);
   const int rank_dirty = compare_dirs(base, skewed, 0.10, /*quiet=*/true);
+  const int rankset_dirty = compare_dirs(base, reshaped, 0.10, /*quiet=*/true);
   fs::remove_all(root, ec);
   if (clean != 0) {
     std::fprintf(stderr, "self-test FAIL: identical dirs reported %d\n", clean);
@@ -215,8 +301,14 @@ int self_test() {
                  "totals was not flagged\n");
     return 1;
   }
+  if (rankset_dirty <= 0) {
+    std::fprintf(stderr,
+                 "self-test FAIL: changed per-rank row set (rank removed, "
+                 "rank added) was silently skipped\n");
+    return 1;
+  }
   std::printf("self-test PASS: identical dirs clean, injected +50%% flagged, "
-              "per-rank skew flagged\n");
+              "per-rank skew flagged, rank-set change flagged\n");
   return 0;
 }
 

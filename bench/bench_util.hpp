@@ -103,6 +103,17 @@ inline bool bench_degrade() {
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
+/// SPTRSV_BENCH_ELASTIC=1 layers spare-return re-expansion on top of the
+/// degrade mode (implies SPTRSV_BENCH_DEGRADE): repaired nodes rejoin as
+/// spares with mean time to repair equal to the crash MTBF, so a shrunk
+/// world grows back mid-solve (docs/ROBUSTNESS.md, elasticity lifecycle).
+/// The printed tables are unchanged; each sweep point adds a `# elastic:`
+/// line with the re-expansion ledger.
+inline bool bench_elastic() {
+  const char* v = std::getenv("SPTRSV_BENCH_ELASTIC");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
 /// SPTRSV_BENCH_DETERMINISTIC=1 runs every solve in the deterministic
 /// scheduler mode: slower (ranks serialize on the run token), but two runs
 /// of a bench print byte-identical tables (docs/DETERMINISM.md).
@@ -149,10 +160,16 @@ inline void print_mode_banner() {
         "(tables unchanged; verification overhead per sweep point)\n",
         rate);
   }
-  if (bench_degrade()) {
+  if (bench_degrade() || bench_elastic()) {
     std::printf(
         "# degrade: spare pool emptied, crashes shrink the world and "
         "redistribute (tables unchanged; shrink ledger per sweep point)\n");
+  }
+  if (bench_elastic()) {
+    std::printf(
+        "# elastic: repaired nodes rejoin (repair mtbf = crash mtbf), "
+        "degraded worlds re-expand (tables unchanged; re-expansion ledger "
+        "per sweep point)\n");
   }
 }
 
@@ -302,7 +319,12 @@ inline DistSolveOutcome run_cpu(const FactoredSystem& fs, const Grid3dShape& sha
   }
   if (const double mtbf = bench_crash_mtbf(); mtbf > 0.0) {
     m.perturb.crash_mtbf = mtbf;
-    if (bench_degrade()) {
+    if (bench_elastic()) {
+      // Repairs arrive at the same Poisson rate the crashes do, so a
+      // typical sweep point shrinks and re-grows at least once.
+      m.perturb.repair_mtbf = mtbf;
+    }
+    if (bench_degrade() || bench_elastic()) {
       // Elastic mode: no spares at all — every crash shrinks the world and
       // redistributes the dead rank's partition. Only a lost survivor
       // quorum aborts the sweep.
@@ -344,7 +366,7 @@ inline DistSolveOutcome run_cpu(const FactoredSystem& fs, const Grid3dShape& sha
                 clean > 0.0 ? 100.0 * rec.checkpoint_time / clean : 0.0,
                 recovery);
   }
-  if (bench_crash_mtbf() > 0.0 && bench_degrade()) {
+  if (bench_crash_mtbf() > 0.0 && (bench_degrade() || bench_elastic())) {
     const DegradationStats deg = out.run_stats.degradation_stats();
     std::printf("# degrade: events=%lld ranks_lost=%lld adopted=%lld "
                 "redistributed=%lld bytes, shrink+agree %.3e s, "
@@ -355,6 +377,17 @@ inline DistSolveOutcome run_cpu(const FactoredSystem& fs, const Grid3dShape& sha
                 static_cast<long long>(deg.redistributed_bytes),
                 deg.agree_time + deg.shrink_time, deg.redistribute_time,
                 deg.replay_time, deg.overload_time);
+  }
+  if (bench_crash_mtbf() > 0.0 && bench_elastic()) {
+    const ElasticityStats el = out.run_stats.elasticity_stats();
+    const double overhead =
+        el.agree_time + el.expand_time + el.transfer_time + el.replay_time;
+    std::printf("# elastic: returns=%lld expansions=%lld transfers=%lld "
+                "(%lld bytes), re-expansion %.3e s\n",
+                static_cast<long long>(el.returns),
+                static_cast<long long>(el.expansions),
+                static_cast<long long>(el.transfers),
+                static_cast<long long>(el.transfer_bytes), overhead);
   }
   if (bench_sdc_rate() > 0.0) {
     const SdcStats s = out.run_stats.sdc_stats();

@@ -8,6 +8,8 @@
 ///              [--backend cpu|gpu] [--refine] [--csv] [--trace FILE]
 ///              [--metrics FILE] [--crash R@T] [--mtbf SECONDS]
 ///              [--sdc RATE] [--abft] [--sdc-repair] [--spares N] [--degrade]
+///              [--return R@T] [--repair-mtbf S] [--fanout K] [--rebalance]
+///              [--straggler-lag S]
 ///
 /// Examples:
 ///   sptrsv_cli --matrix s2D9pt2048 --shape 4x4x8 --alg new
@@ -15,6 +17,8 @@
 ///   sptrsv_cli --matrix nlpkkt80 --scale medium --shape 2x2x16 --refine
 ///   sptrsv_cli --matrix s2D9pt2048 --shape 2x2x2 --crash 3@1e-4
 ///   sptrsv_cli --matrix s2D9pt2048 --shape 2x2x2 --sdc 2e3 --abft
+///   sptrsv_cli --shape 2x2x2 --spares 0 --degrade --crash 3@1e-4 \
+///              --return 3@5e-4 --fanout 2
 ///
 /// Exit codes: 0 success, 1 numeric/IO failure, 2 usage, 3 structured fault
 /// (the FaultReport diagnostics — kind, rank, peer, tag, phase — go to
@@ -46,7 +50,8 @@ namespace {
                "          [--backend cpu|gpu] [--refine] [--csv] [--trace FILE]\n"
                "          [--metrics FILE] [--crash R@T]... [--mtbf SECONDS]\n"
                "          [--sdc RATE] [--abft] [--sdc-repair] [--spares N]\n"
-               "          [--degrade]\n"
+               "          [--degrade] [--return R@T]... [--repair-mtbf S]\n"
+               "          [--fanout K] [--rebalance] [--straggler-lag S]\n"
                "\n"
                "  --metrics FILE  enable the runtime metrics registry and write the\n"
                "                  schema-versioned JSON report (sptrsv-metrics/1) to\n"
@@ -64,6 +69,18 @@ namespace {
                "                  dies), shrink the world and redistribute the\n"
                "                  dead rank's partition instead of failing\n"
                "                  (docs/ROBUSTNESS.md, graceful degradation)\n"
+               "  --return R@T    a repaired node rejoins as a spare for rank R\n"
+               "                  at virtual time T; a degraded world re-expands\n"
+               "                  and hands the adopted partition back\n"
+               "  --repair-mtbf S draw spare-return times as a Poisson process\n"
+               "                  with mean-time-to-repair S virtual seconds\n"
+               "  --fanout K      load-aware degradation: split a victim's\n"
+               "                  partition across the K least-loaded survivors\n"
+               "                  instead of one ring adopter (0 = classic)\n"
+               "  --rebalance     straggler watchdog mitigates (repartitions)\n"
+               "                  instead of merely diagnosing slow ranks\n"
+               "  --straggler-lag S  fault-clock lag growth per epoch that\n"
+               "                  classifies a rank as a straggler (0 = off)\n"
                "\n"
                "exit codes: 0 success, 1 numeric/IO failure, 2 usage,\n"
                "            3 structured fault (FaultReport on stderr),\n"
@@ -122,11 +139,15 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::vector<PerturbationModel::Crash> crashes;
+  std::vector<PerturbationModel::NodeReturn> returns;
   double mtbf = 0.0;
+  double repair_mtbf = 0.0;
   double sdc_rate = 0.0;
   bool abft = false, sdc_repair = false;
-  bool degrade = false;
+  bool degrade = false, rebalance = false;
   int spares = -1;
+  int fanout = 0;
+  double straggler_lag = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -182,6 +203,20 @@ int main(int argc, char** argv) {
       spares = std::atoi(next().c_str());
     } else if (a == "--degrade") {
       degrade = true;
+    } else if (a == "--return") {
+      PerturbationModel::NodeReturn nr;
+      if (std::sscanf(next().c_str(), "%d@%lf", &nr.rank, &nr.vt) != 2) {
+        usage(argv[0]);
+      }
+      returns.push_back(nr);
+    } else if (a == "--repair-mtbf") {
+      repair_mtbf = std::atof(next().c_str());
+    } else if (a == "--fanout") {
+      fanout = std::atoi(next().c_str());
+    } else if (a == "--rebalance") {
+      rebalance = true;
+    } else if (a == "--straggler-lag") {
+      straggler_lag = std::atof(next().c_str());
     } else {
       usage(argv[0]);
     }
@@ -192,8 +227,12 @@ int main(int argc, char** argv) {
                                                       : MachineModel::cori_haswell();
   machine.perturb.crashes = crashes;
   machine.perturb.crash_mtbf = mtbf;
+  machine.perturb.returns = returns;
+  machine.perturb.repair_mtbf = repair_mtbf;
   machine.perturb.sdc_rate = sdc_rate;
   if (spares >= 0) machine.recovery.spare_ranks = spares;
+  machine.recovery.rebalance_fanout = fanout;
+  machine.recovery.straggler_lag = straggler_lag;
 
   try {
   const CsrMatrix a = load_matrix(matrix, scale);
@@ -261,6 +300,7 @@ int main(int argc, char** argv) {
   cfg.run.abft = abft;
   cfg.run.sdc_repair = sdc_repair;
   cfg.run.degrade = degrade;
+  cfg.run.rebalance = rebalance;
 
   if (refine) {
     if (!metrics_path.empty()) {
@@ -376,6 +416,33 @@ int main(int argc, char** argv) {
           static_cast<long long>(deg.redistributed_bytes), deg.agree_time,
           deg.shrink_time, deg.redistribute_time, deg.replay_time,
           deg.overload_time);
+      // Post-shrink load picture: which survivors carry how many partitions'
+      // worth of work (x1.00 = their own share only).
+      for (size_t r = 0; r < out.run_stats.ranks.size(); ++r) {
+        const double m = out.run_stats.ranks[r].degradation.overload_mult;
+        if (m > 1.0) {
+          std::printf("           rank %zu overload x%.2f\n", r, m);
+        }
+      }
+    }
+  }
+  const ElasticityStats el = out.run_stats.elasticity_stats();
+  if (el.any()) {
+    if (el.returns > 0) {
+      std::printf(
+          "  elastic: returns=%lld expansions=%lld transfers=%lld (%lld B)\n"
+          "           agree %.3e s, expand %.3e s, transfer %.3e s, replay "
+          "%.3e s\n",
+          static_cast<long long>(el.returns),
+          static_cast<long long>(el.expansions),
+          static_cast<long long>(el.transfers),
+          static_cast<long long>(el.transfer_bytes), el.agree_time,
+          el.expand_time, el.transfer_time, el.replay_time);
+    }
+    if (el.stragglers > 0) {
+      std::printf("  straggler: events=%lld rebalances=%lld (%.3e s lag)\n",
+                  static_cast<long long>(el.stragglers),
+                  static_cast<long long>(el.rebalances), el.straggler_time);
     }
   }
   // A refinement repair converges to the ABFT residual gate, not to working

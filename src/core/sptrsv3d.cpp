@@ -500,12 +500,49 @@ DistSolveOutcome solve_sptrsv_3d(const SupernodalLU& lu, const NdTree& tree,
   ctx.x_out = &x;
   ctx.times = &times;
 
+  // Per-rank static work estimates for load-aware degradation and
+  // straggler rebalancing (RecoveryModel::rank_work): the diagonal flops
+  // each world rank owns under the solve plans. Consulted only while
+  // building crash plans, so deriving them here never perturbs the clean
+  // ledger; a caller-supplied profile wins.
+  MachineModel mach = machine;
+  if ((cfg.run.degrade || cfg.run.rebalance) && mach.recovery.rank_work.empty()) {
+    std::vector<double>& w = mach.recovery.rank_work;
+    w.assign(static_cast<size_t>(shape.size()), 0.0);
+    for (int r = 0; r < shape.size(); ++r) {
+      const int z = shape.z_of(r);
+      const int grid_rank = shape.grid_rank_of(r);
+      if (cfg.algorithm == Algorithm3d::kProposed) {
+        const Solve2dPlan& plan = ctx.leaf_plans[static_cast<size_t>(z)];
+        for (const Idx k : plan.cols()) {
+          if (plan.shape().diag_owner(k) == grid_rank) {
+            w[static_cast<size_t>(r)] += plan.diag_flops(k, cfg.nrhs);
+          }
+        }
+      } else {
+        // Baseline: a z-plane solves at L/U level s only while
+        // z % 2^s == 0 (see run_baseline); count both phases.
+        const auto path = ctx.coarse.path_to_root(ctx.coarse.leaf_node_id(z));
+        for (int s = 0; s <= ctx.coarse.levels(); ++s) {
+          if (z % (1 << s) != 0) break;
+          const Solve2dPlan& plan =
+              ctx.node_plans[static_cast<size_t>(path[static_cast<size_t>(s)])];
+          for (const Idx k : plan.cols()) {
+            if (plan.shape().diag_owner(k) == grid_rank) {
+              w[static_cast<size_t>(r)] += 2.0 * plan.diag_flops(k, cfg.nrhs);
+            }
+          }
+        }
+      }
+    }
+  }
+
   // try_run instead of run: recoverable crash schedules finish normally
   // (recovery cost on the fault ledger only), while unrecoverable verdicts
   // and transport failures surface as a structured FaultError carrying the
   // rank/peer/tag/phase diagnostics instead of a bare error string.
   const Cluster::Result stats =
-      Cluster::try_run(shape.size(), machine, [&](Comm& world) {
+      Cluster::try_run(shape.size(), mach, [&](Comm& world) {
         const int z = shape.z_of(world.rank());
         const int grid_rank = shape.grid_rank_of(world.rank());
         Comm grid = world.split(/*color=*/z, /*key=*/grid_rank);

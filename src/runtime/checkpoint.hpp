@@ -61,6 +61,22 @@ struct RecoveryModel {
   /// last epoch time) of lost progress scaled by this factor (1.0 = replay
   /// at the original speed).
   double replay_factor = 1.0;
+  /// Overload-aware rebalancing: under RunOptions::degrade, split a dead
+  /// rank's hosted partitions across the `rebalance_fanout` least-loaded
+  /// survivors instead of moving them whole to the ring adopter, bounding
+  /// the post-shrink overload multiplier. 0 keeps the classic ring adoption
+  /// (bitwise-identical plans to earlier releases).
+  int rebalance_fanout = 0;
+  /// Per-world-rank relative work estimates for load-aware choices (the
+  /// solve plan's diagonal-block flops, filled by the solver front ends).
+  /// Empty = uniform work. Indexed by partition id (== original world rank).
+  std::vector<double> rank_work;
+  /// Straggler watchdog threshold: at every checkpoint epoch each rank
+  /// compares its fault-clock lag (fvt − vt) against the high-water mark of
+  /// earlier epochs; growth beyond this many seconds classifies the rank as
+  /// a straggler (FaultKind::kStraggler diagnostics, ElasticityStats).
+  /// 0 disables; consulted only while rank-stall schedules are configured.
+  double straggler_lag = 0.0;
 };
 
 /// Per-rank recovery-cost ledger — the crash-stop half of the fault ledger.
@@ -111,6 +127,10 @@ struct DegradationStats {
   double redistribute_time = 0.0;      ///< buddy-image wire time to the adopter
   double replay_time = 0.0;            ///< replayed progress since the last epoch
   double overload_time = 0.0;          ///< extra compute from hosting >1 partition
+  /// Peak post-shrink overload multiplier this partition ran under (1.0 =
+  /// never overloaded). Merged with max semantics, not summed: the cluster
+  /// total reports the worst multiplier any partition saw.
+  double overload_mult = 0.0;
 
   DegradationStats& operator+=(const DegradationStats& o) {
     degrades += o.degrades;
@@ -122,9 +142,45 @@ struct DegradationStats {
     redistribute_time += o.redistribute_time;
     replay_time += o.replay_time;
     overload_time += o.overload_time;
+    if (o.overload_mult > overload_mult) overload_mult = o.overload_mult;
     return *this;
   }
   bool any() const { return degrades != 0 || partitions_adopted != 0; }
+};
+
+/// Per-rank elasticity ledger (spare returns, world re-expansion, straggler
+/// watchdog). All fields are 8-byte scalars so RankStats stays padding-free
+/// (tests memcmp it). All zero unless a spare-return or straggler event
+/// actually fired — arming repair schedules alone is bitwise invisible on
+/// both ledgers.
+struct ElasticityStats {
+  std::int64_t returns = 0;        ///< spare-return events processed
+  std::int64_t expansions = 0;     ///< world re-growth events (re-agree + expand)
+  std::int64_t transfers = 0;      ///< partition images handed back on return
+  std::int64_t transfer_bytes = 0; ///< checkpoint bytes shipped on hand-back
+  std::int64_t stragglers = 0;     ///< straggler classifications at this rank
+  std::int64_t rebalances = 0;     ///< straggler-triggered repartitions
+  double agree_time = 0.0;         ///< survivor re-agreement sweeps (2 per return)
+  double expand_time = 0.0;        ///< grown-communicator rebuild sweep
+  double transfer_time = 0.0;      ///< partition-image wire time on hand-back
+  double replay_time = 0.0;        ///< replayed progress since the image epoch
+  double straggler_time = 0.0;     ///< lag absorbed + mitigation sweeps
+
+  ElasticityStats& operator+=(const ElasticityStats& o) {
+    returns += o.returns;
+    expansions += o.expansions;
+    transfers += o.transfers;
+    transfer_bytes += o.transfer_bytes;
+    stragglers += o.stragglers;
+    rebalances += o.rebalances;
+    agree_time += o.agree_time;
+    expand_time += o.expand_time;
+    transfer_time += o.transfer_time;
+    replay_time += o.replay_time;
+    straggler_time += o.straggler_time;
+    return *this;
+  }
+  bool any() const { return returns != 0 || stragglers != 0; }
 };
 
 /// One captured solve-state image, conceptually resident at the owner's
@@ -206,6 +262,22 @@ struct DegradeEvent {
   std::int64_t adopt_delta = 0;
 };
 
+/// One planned spare return that re-expands a degraded world: at clean time
+/// `vt` the repaired node for rank `returned` rejoins, the survivors
+/// re-agree (two sweeps), the communicator grows back by one (one sweep) and
+/// the host `from` hands the adopted partition's checkpoint image back
+/// (checksum-verified on fetch, escalating to replay-from-start on a reject).
+/// Processed at the returning partition's own context — the partition thread
+/// kept executing through the degraded window, so the clean ledger is
+/// untouched by construction and every cost lands on the fault clock and
+/// ElasticityStats. Returns whose rank is alive at `vt` are inert and never
+/// planned.
+struct ElasticEvent {
+  double vt = 0.0;
+  int from = -1;           ///< host handing the partition back
+  int survivors_after = 0; ///< world size after the re-expansion
+};
+
 /// The full schedule: per-rank crash events sorted by virtual time. A pure
 /// function of (PerturbationModel, RecoveryModel, seed, nranks) — no
 /// wall-clock state — so a failing schedule replays exactly.
@@ -215,6 +287,9 @@ struct DegradeEvent {
 struct CrashPlan {
   std::vector<std::vector<CrashEvent>> by_rank;
   std::vector<std::vector<DegradeEvent>> degrade_by_rank;
+  /// Spare-return schedule per returning rank (empty without repair knobs or
+  /// when every return was inert); consulted only under RunOptions::degrade.
+  std::vector<std::vector<ElasticEvent>> elastic_by_rank;
   bool any() const {
     for (const auto& v : by_rank) {
       if (!v.empty()) return true;
@@ -236,10 +311,34 @@ struct DegradePlan {
   int adopter = -1;
   int survivors_after = 0;
   int image_survives = 0;
+  /// Load-aware mode (RecoveryModel::rebalance_fanout > 0): the victim's
+  /// hosted partitions and the survivor each one moves to, parallel vectors
+  /// in assignment order (largest work first, LPT-greedy over the k
+  /// least-loaded survivors). Empty in classic ring mode, where every
+  /// victim-hosted partition moves to `adopter`.
+  std::vector<int> moved_partitions;
+  std::vector<int> adopters;
 };
 
+/// `host` is the current partition -> physical-rank map accumulated over
+/// earlier shrinks (empty = identity, the fresh-world default); it selects
+/// the victim's hosted partitions and the survivors' current loads in
+/// load-aware mode and is ignored by the classic ring rule.
 DegradePlan build_degrade_plan(const RecoveryModel& rm, int nranks,
-                               const std::vector<int>& dead);
+                               const std::vector<int>& dead,
+                               const std::vector<int>& host = {});
+
+/// Builds the spare-return schedule: explicit PerturbationModel::returns
+/// entries plus, when repair_mtbf > 0, per-rank Poisson repair arrivals
+/// (exponential times drawn from the salted kRepairStreamSalt stream, capped
+/// at repair_max_per_rank). Returns per-rank sorted times; a pure function
+/// of (PerturbationModel, seed, nranks), so arming repair shifts no timing,
+/// delivery, crash or SDC draw. Which returns actually re-expand the world
+/// is decided by build_crash_plan's verdict pass (a return only matters for
+/// a rank that was degraded away before it fires).
+std::vector<std::vector<double>> build_repair_plan(const PerturbationModel& pm,
+                                                   std::uint64_t seed,
+                                                   int nranks);
 
 /// Deterministic serialization of an (index -> value-vector) map plus a
 /// progress cursor — the common shape of solver checkpoint state (x/y

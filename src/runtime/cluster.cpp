@@ -164,6 +164,13 @@ struct RankCtx {
     MetricsRegistry::Counter degrade_ranks_lost;
     MetricsRegistry::Counter degrade_adopted;
     MetricsRegistry::Counter degrade_bytes;
+    MetricsRegistry::Gauge degrade_overload;
+    MetricsRegistry::Counter elastic_returns;
+    MetricsRegistry::Counter elastic_expansions;
+    MetricsRegistry::Counter elastic_transfers;
+    MetricsRegistry::Counter elastic_bytes;
+    MetricsRegistry::Counter straggler_events;
+    MetricsRegistry::Counter straggler_rebalances;
   } mh;
 
   // --- flight recorder (always on, allocation-free; dumped into
@@ -171,7 +178,7 @@ struct RankCtx {
   struct FlightEntry {
     enum Kind : int {
       kNone = 0, kSend, kRecvWait, kRecvDone, kCollective, kCrash, kCheckpoint,
-      kSdc, kDegrade
+      kSdc, kDegrade, kElastic
     };
     Kind kind = kNone;
     int peer = -1;          ///< dst/src global rank (-1 wildcard/none)
@@ -243,6 +250,21 @@ struct RankCtx {
   bool abft = false;             ///< RunOptions::abft
   SdcStats sdc;                  ///< ABFT/SDC ledger (fault side)
 
+  // --- elastic re-expansion + straggler watchdog (docs/ROBUSTNESS.md
+  // §Elasticity lifecycle) ---
+  /// This rank's slice of the spare-return schedule (null = no repair knobs,
+  /// degrade off, or every return was inert).
+  const std::vector<ElasticEvent>* elastic_events = nullptr;
+  std::size_t elastic_idx = 0;   ///< next unfired event (re-armed by
+                                 ///< reset_clock like crash_idx)
+  bool rebalance = false;        ///< RunOptions::rebalance
+  /// Progress-watermark watchdog arming: rank-stall schedules configured
+  /// AND RecoveryModel::straggler_lag > 0 (never on clean runs — without
+  /// stalls the fault clock tracks the clean clock bitwise).
+  bool straggler_armed = false;
+  double straggle_hwm = 0.0;     ///< high-water mark of fvt − vt at epochs
+  ElasticityStats estats;        ///< elasticity ledger (fault side)
+
   /// Advances both clocks in lockstep (identical arithmetic keeps fvt
   /// bitwise equal to vt while no faults intervene); receive/collective
   /// sites then rewrite fvt with the mirrored fault-arrival expression.
@@ -265,6 +287,10 @@ struct RankCtx {
         vt >= (*crash_events)[crash_idx].vt) {
       process_crash();
     }
+    if (elastic_events != nullptr && elastic_idx < elastic_events->size() &&
+        vt >= (*elastic_events)[elastic_idx].vt) {
+      process_elastic();
+    }
     // Elastic-degradation overload: once this partition's host adopted extra
     // partitions, every clean compute second really takes `mult` seconds on
     // the shrunken machine. The extra rides the fault clock only, and also
@@ -275,6 +301,10 @@ struct RankCtx {
              vt >= (*degrade_events)[degrade_idx].vt) {
         const DegradeEvent de = (*degrade_events)[degrade_idx++];
         degrade_mult = de.mult;
+        // Peak multiplier on the stats (max semantics), live multiplier on
+        // the gauge — a re-expansion lowers the gauge but not the peak.
+        if (de.mult > dstats.overload_mult) dstats.overload_mult = de.mult;
+        mh.degrade_overload.set(de.mult);
         if (de.adopt_delta > 0) {
           dstats.partitions_adopted += de.adopt_delta;
           mh.degrade_adopted.add(de.adopt_delta);
@@ -460,6 +490,115 @@ struct RankCtx {
       trace.marks.push_back(
           {"redistribute", t + delay, static_cast<std::int64_t>(ev.adopter)});
     }
+  }
+
+  /// Fires every spare-return event the clean clock just crossed: the
+  /// repaired node rejoins a degraded world, the survivors re-agree on the
+  /// grown membership (two sweeps), the communicator expands (one sweep) and
+  /// the relieved host hands this partition's checkpoint image back
+  /// (checksum-verified, escalating to replay-from-start on a reject, same
+  /// integrity rules as every other fetch). Modeled analytically at the
+  /// returning partition's context — the partition thread kept executing
+  /// through the degraded window, so the clean ledger is untouched by
+  /// construction; every cost lands on the fault clock and ElasticityStats.
+  /// The relieved host's lowered multiplier arrives separately through the
+  /// DegradeEvent stream in advance().
+  void process_elastic() {
+    while (elastic_idx < elastic_events->size() &&
+           vt >= (*elastic_events)[elastic_idx].vt) {
+      const ElasticEvent ev = (*elastic_events)[elastic_idx++];
+      const RecoveryModel& rm = mach->recovery;
+      const double t = ev.vt;
+      // Re-expansion sweeps are sized to the grown world.
+      const double sweep = 2.0 * log2_ceil(ev.survivors_after) *
+                           (mach->net.latency + mach->mpi_overhead);
+      const double agree = 2.0 * sweep;
+      const double expand = sweep;
+      double transfer = 0.0;
+      double replay = t * rm.replay_factor;  // image lost: replay from start
+      const CheckpointImage* img = ckpt != nullptr ? ckpt->latest(grank) : nullptr;
+      if (img != nullptr && payload_checksum(img->state) != img->checksum) {
+        // Same integrity gate as restores and degrade fetches: a corrupt
+        // image escalates to replay-from-start instead of resurrecting bad
+        // state on the rejoining node.
+        rstats.image_rejects += 1;
+        mh.image_rejects.add();
+        img = nullptr;
+      }
+      std::int64_t tbytes = 0;
+      if (img != nullptr) {
+        const double bytes = static_cast<double>(img->state.size()) * sizeof(Real);
+        tbytes = static_cast<std::int64_t>(bytes);
+        transfer = rm.restore_overhead + mach->net.latency +
+                   bytes / mach->net.bandwidth;
+        replay = (t - img->vt) * rm.replay_factor;
+        estats.transfers += 1;
+        mh.elastic_transfers.add();
+      }
+      estats.returns += 1;
+      estats.expansions += 1;
+      estats.transfer_bytes += tbytes;
+      estats.agree_time += agree;
+      estats.expand_time += expand;
+      estats.transfer_time += transfer;
+      estats.replay_time += replay;
+      mh.elastic_returns.add();
+      mh.elastic_expansions.add();
+      mh.elastic_bytes.add(tbytes);
+      mh.recovery_sweeps.add(3);  // two re-agreement sweeps + the expansion
+      flight_record(FlightEntry::kElastic, ev.from, ev.survivors_after, 0,
+                    tbytes);
+      const double delay = agree + expand + transfer + replay;
+      fvt += delay;
+      crash_total += delay;
+      if (tracing) {
+        trace.marks.push_back(
+            {"expand", t, static_cast<std::int64_t>(ev.survivors_after)});
+        trace.marks.push_back({"transfer", t + delay, tbytes});
+      }
+    }
+  }
+
+  /// Progress-watermark watchdog, run at every checkpoint epoch while
+  /// rank-stall schedules are configured: the fault-clock lag (fvt − vt)
+  /// accrued by stalled transport is compared against the high-water mark of
+  /// earlier epochs; growth beyond RecoveryModel::straggler_lag classifies
+  /// this rank as a straggler (FaultKind::kStraggler diagnostics only —
+  /// never terminal). Under RunOptions::rebalance the classification also
+  /// triggers a load-aware repartition — two survivor agreement sweeps plus
+  /// one repartition sweep on the fault clock — and forgives the accrued lag
+  /// (work shed to peers). Clean runs never fire: without delivery faults
+  /// the fault clock tracks the clean clock bitwise, so the lag is zero.
+  void process_straggler_epoch() {
+    const double lag = fvt - vt;
+    const double growth = lag - straggle_hwm;
+    if (growth <= mach->recovery.straggler_lag) {
+      if (lag > straggle_hwm) straggle_hwm = lag;
+      return;
+    }
+    estats.stragglers += 1;
+    estats.straggler_time += growth;
+    mh.straggler_events.add();
+    flight_record(FlightEntry::kElastic, grank, rebalance ? 1 : 0, 1, 0);
+    if (tracing) {
+      trace.marks.push_back(
+          {"straggler", vt, static_cast<std::int64_t>(rebalance ? 1 : 0)});
+    }
+    if (rebalance) {
+      // Two agreement sweeps + one repartition sweep, charged at the epoch
+      // boundary (outside any receive's advance, so no crash_total echo —
+      // the same pattern as checkpoint shipment).
+      const double cost = 3.0 * ulfm_sweep;
+      fvt += cost;
+      estats.rebalances += 1;
+      estats.straggler_time += cost;
+      mh.straggler_rebalances.add();
+      mh.recovery_sweeps.add(3);
+      if (tracing) {
+        trace.marks.push_back({"rebalance", vt, estats.rebalances});
+      }
+    }
+    straggle_hwm = fvt - vt;
   }
 
   /// Fires at every checkpoint epoch while an SDC schedule or ABFT is
@@ -923,15 +1062,29 @@ class ClusterState {
       ctx.tracing = opts_.trace;
       ctx.vt_limit = opts_.vt_limit;
       ctx.mach = &machine_;
+      // The sweep cost is wired unconditionally: crash recovery and the
+      // straggler watchdog's rebalance sweeps both price collective rounds
+      // with it (it is inert while neither fault class is armed).
+      ctx.ulfm_sweep = sweep;
+      ctx.rebalance = opts_.rebalance;
+      // The progress-watermark watchdog arms only while rank-stall
+      // schedules exist AND the detector threshold is set: on a clean run
+      // fvt tracks vt bitwise, so there is no lag to watch.
+      ctx.straggler_armed = !machine_.perturb.stalls.empty() &&
+                            machine_.recovery.straggler_lag > 0.0;
       if (crashing) {
         ctx.crash_events = &crash_plan_.by_rank[static_cast<size_t>(r)];
         ctx.ckpt = ckpt_.get();
-        ctx.ulfm_sweep = sweep;
         ctx.degrade = opts_.degrade;
         if (opts_.degrade &&
             !crash_plan_.degrade_by_rank[static_cast<size_t>(r)].empty()) {
           ctx.degrade_events =
               &crash_plan_.degrade_by_rank[static_cast<size_t>(r)];
+        }
+        if (opts_.degrade &&
+            !crash_plan_.elastic_by_rank[static_cast<size_t>(r)].empty()) {
+          ctx.elastic_events =
+              &crash_plan_.elastic_by_rank[static_cast<size_t>(r)];
         }
       }
       if (sdc) ctx.sdc_events = &sdc_plan_.by_rank[static_cast<size_t>(r)];
@@ -981,6 +1134,13 @@ class ClusterState {
         mh.degrade_ranks_lost = m->counter("recovery.degrade.ranks_lost");
         mh.degrade_adopted = m->counter("recovery.degrade.adopted");
         mh.degrade_bytes = m->counter("recovery.degrade.bytes");
+        mh.degrade_overload = m->gauge("recovery.degrade.overload");
+        mh.elastic_returns = m->counter("recovery.elastic.returns");
+        mh.elastic_expansions = m->counter("recovery.elastic.expansions");
+        mh.elastic_transfers = m->counter("recovery.elastic.transfers");
+        mh.elastic_bytes = m->counter("recovery.elastic.bytes");
+        mh.straggler_events = m->counter("recovery.straggler.events");
+        mh.straggler_rebalances = m->counter("recovery.straggler.rebalances");
       }
     }
     if (sched_ != nullptr && opts_.metrics) {
@@ -1058,6 +1218,21 @@ class ClusterState {
             std::snprintf(buf, sizeof(buf),
                           "rank %zu: vt=%.9g degrade(adopter=%d, survivors=%d)",
                           r, e.vt, e.peer, e.a);
+            break;
+          case RankCtx::FlightEntry::kElastic:
+            // b discriminates the two elastic entry flavors: 0 = a spare
+            // return re-expanding the world, 1 = a straggler classification.
+            if (e.b == 1) {
+              std::snprintf(buf, sizeof(buf),
+                            "rank %zu: vt=%.9g straggler(rebalance=%d)", r,
+                            e.vt, e.a);
+            } else {
+              std::snprintf(buf, sizeof(buf),
+                            "rank %zu: vt=%.9g expand(from=%d, survivors=%d, "
+                            "bytes=%lld)",
+                            r, e.vt, e.peer, e.a,
+                            static_cast<long long>(e.bytes));
+            }
             break;
           case RankCtx::FlightEntry::kNone:
             continue;
@@ -1521,6 +1696,11 @@ void Comm::reset_clock() {
   ctx_->dstats = DegradationStats{};
   ctx_->degrade_idx = 0;
   ctx_->degrade_mult = 1.0;
+  // Elasticity re-arms the same way: return times and the straggler
+  // watermark are interpreted on the post-reset clock.
+  ctx_->estats = ElasticityStats{};
+  ctx_->elastic_idx = 0;
+  ctx_->straggle_hwm = 0.0;
   if (ctx_->ckpt != nullptr) ctx_->ckpt->clear(ctx_->grank);
   // Setup-phase events would break the fresh clock's contiguity; drop them.
   // send_seq is deliberately NOT reset: a pre-reset send could otherwise
@@ -2253,6 +2433,10 @@ CheckpointScope Comm::register_checkpoint(
 
 void Comm::checkpoint_epoch(std::int64_t arg) {
   detail::RankCtx* c = ctx_;
+  // Straggler watchdog first, and before the hook gate: stall-only runs
+  // register no checkpoint hooks, but epoch boundaries are still the
+  // progress watermarks the watchdog samples.
+  if (c->straggler_armed) c->process_straggler_epoch();
   if (c->hooks.empty()) return;
   // SDC pass first: armed memory faults land (and, under ABFT, are detected
   // and repaired) before the epoch's buddy image is captured, so a crash
@@ -2451,6 +2635,19 @@ std::uint64_t Cluster::Result::fault_fingerprint() const {
     mix(std::bit_cast<std::uint64_t>(d.redistribute_time));
     mix(std::bit_cast<std::uint64_t>(d.replay_time));
     mix(std::bit_cast<std::uint64_t>(d.overload_time));
+    mix(std::bit_cast<std::uint64_t>(d.overload_mult));
+    const ElasticityStats& e = r.elasticity;
+    mix(static_cast<std::uint64_t>(e.returns));
+    mix(static_cast<std::uint64_t>(e.expansions));
+    mix(static_cast<std::uint64_t>(e.transfers));
+    mix(static_cast<std::uint64_t>(e.transfer_bytes));
+    mix(static_cast<std::uint64_t>(e.stragglers));
+    mix(static_cast<std::uint64_t>(e.rebalances));
+    mix(std::bit_cast<std::uint64_t>(e.agree_time));
+    mix(std::bit_cast<std::uint64_t>(e.expand_time));
+    mix(std::bit_cast<std::uint64_t>(e.transfer_time));
+    mix(std::bit_cast<std::uint64_t>(e.replay_time));
+    mix(std::bit_cast<std::uint64_t>(e.straggler_time));
   }
   return h;
 }
@@ -2470,6 +2667,12 @@ SdcStats Cluster::Result::sdc_stats() const {
 DegradationStats Cluster::Result::degradation_stats() const {
   DegradationStats total;
   for (const auto& r : ranks) total += r.degradation;
+  return total;
+}
+
+ElasticityStats Cluster::Result::elasticity_stats() const {
+  ElasticityStats total;
+  for (const auto& r : ranks) total += r.elasticity;
   return total;
 }
 
@@ -2566,6 +2769,7 @@ Cluster::Result Cluster::run_impl(int nranks, const MachineModel& machine,
     out.recovery = state.rank(r).rstats;
     out.sdc = state.rank(r).sdc;
     out.degradation = state.rank(r).dstats;
+    out.elasticity = state.rank(r).estats;
     for (int c = 0; c < kNumTimeCategories; ++c) {
       out.category[c] = state.rank(r).category[c];
       out.messages[c] = state.rank(r).messages[c];

@@ -167,6 +167,16 @@ struct RunOptions {
   /// metrics). Only running out of survivors (FaultKind::kNoSurvivors) is
   /// still terminal.
   bool degrade = false;
+  /// Straggler mitigation: when the progress-watermark watchdog classifies
+  /// this rank as a straggler (fault-clock lag growth beyond
+  /// RecoveryModel::straggler_lag between checkpoint epochs, only while
+  /// rank-stall schedules are configured), trigger a load-aware repartition
+  /// — two survivor agreement sweeps plus one repartition sweep on the
+  /// fault ledger — instead of merely diagnosing. Mitigation forgives the
+  /// accrued lag (the watermark resets), modeling work shed to peers. The
+  /// clean ledger is bitwise invariant either way; costs land on
+  /// ElasticityStats (Result::elasticity_stats, recovery.straggler.*).
+  bool rebalance = false;
 };
 
 /// A received message.
@@ -412,6 +422,7 @@ struct RankStats {
   RecoveryStats recovery;
   SdcStats sdc;
   DegradationStats degradation;
+  ElasticityStats elasticity;
 };
 
 /// Distribution summary of one per-rank statistic (Figs 7-8 load-balance
@@ -475,7 +486,15 @@ class Cluster {
     /// lost, partitions adopted, redistribution traffic, agree/shrink/
     /// redistribute/replay/overload time). All zero unless
     /// RunOptions::degrade absorbed an otherwise-unrecoverable crash.
+    /// The overload_mult component merges with max semantics: the worst
+    /// post-shrink multiplier any partition ran under.
     DegradationStats degradation_stats() const;
+    /// Sum of every rank's elasticity counters (spare returns, world
+    /// re-expansions, partition hand-backs, straggler classifications and
+    /// mitigation sweeps, with their fault-clock time). All zero unless a
+    /// spare return re-expanded a degraded world or the straggler watchdog
+    /// fired — armed-but-inert repair schedules leave every field zero.
+    ElasticityStats elasticity_stats() const;
     /// Mean over ranks of one category (paper plots rank-averaged bars).
     double mean_category(TimeCategory cat) const;
     double max_category(TimeCategory cat) const;

@@ -49,6 +49,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kSparesExhausted: return "spares-exhausted";
     case FaultKind::kSilentCorruption: return "silent-corruption";
     case FaultKind::kNoSurvivors: return "no-survivors";
+    case FaultKind::kStraggler: return "straggler";
   }
   return "?";
 }

@@ -100,6 +100,9 @@ enum class FaultKind : int {
   kSilentCorruption,  ///< residual check caught uncorrected memory faults
   kNoSurvivors,       ///< elastic degradation ran out of survivors to adopt
                       ///< the dead ranks' partitions (RunOptions::degrade)
+  kStraggler,         ///< slow-but-alive rank flagged by the progress-
+                      ///< watermark watchdog (diagnostic only — never
+                      ///< terminal; see ElasticityStats::stragglers)
 };
 
 const char* fault_kind_name(FaultKind k);

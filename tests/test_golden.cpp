@@ -36,15 +36,17 @@ std::string fp_hex(std::uint64_t fp) {
   return os.str();
 }
 
-/// "<matrix> <algorithm> <seed-token>" -> fingerprint hex, for all 60
+/// "<matrix> <algorithm> <seed-token>" -> fingerprint hex, for all 72
 /// corpus entries, computed fresh. Seed tokens "0"/"1" are plain perturbed
 /// solves; "abft0" is the same seed-0 solve with ABFT armed and no faults,
 /// "sdc0" is seed 0 with ABFT armed over an aggressive memory-fault rate,
-/// and "degrade0" is seed 0 with an empty spare pool, one scheduled rank
-/// death and elastic degradation absorbing it. All three fault rows must
-/// equal the plain "0" row bit for bit — the corpus pins the
-/// docs/ROBUSTNESS.md contract that verification, correction and
-/// shrink-and-redistribute recovery never touch the clean ledger.
+/// "degrade0" is seed 0 with an empty spare pool, one scheduled rank
+/// death and elastic degradation absorbing it, and "elastic0" adds a
+/// spare-return event that re-expands the degraded world mid-solve. All
+/// four fault rows must equal the plain "0" row bit for bit — the corpus
+/// pins the docs/ROBUSTNESS.md contract that verification, correction,
+/// shrink-and-redistribute recovery and elastic re-expansion never touch
+/// the clean ledger.
 std::map<std::string, std::string> compute_corpus() {
   std::map<std::string, std::string> out;
   for (const PaperMatrix pm : all_paper_matrices()) {
@@ -103,6 +105,28 @@ std::map<std::string, std::string> compute_corpus() {
             << key << ": degraded fingerprint drifted from the clean row";
         out[key] = fp_hex(res.run_stats.fingerprint());
       }
+      {
+        // Elastic re-expansion row: the same spare-less death, but the
+        // repaired node returns mid-solve and the world grows back to
+        // full width. Shrink, re-agree, image transfer and replay are all
+        // fault-ledger costs — the clean row must still match bit for bit.
+        SolveConfig cfg;
+        cfg.shape = {2, 2, 2};
+        cfg.algorithm = alg;
+        cfg.run = RunOptions{.deterministic = true, .seed = 0};
+        cfg.run.degrade = true;
+        MachineModel machine = test::perturbed_machine();
+        machine.recovery.spare_ranks = 0;
+        machine.perturb.crashes.push_back({1, 1e-5});
+        machine.perturb.returns.push_back({1, 8e-5});
+        const DistSolveOutcome res = solve_system_3d(fs, b, cfg, machine);
+        const std::string key = base + " elastic0";
+        EXPECT_GT(res.run_stats.elasticity_stats().returns, 0)
+            << key << ": the scheduled return never re-expanded";
+        EXPECT_EQ(fp_hex(res.run_stats.fingerprint()), out[base + " 0"])
+            << key << ": elastic fingerprint drifted from the clean row";
+        out[key] = fp_hex(res.run_stats.fingerprint());
+      }
     }
   }
   return out;
@@ -116,7 +140,7 @@ TEST(GoldenFingerprints, MatchCorpus) {
     std::ofstream out(regen);
     ASSERT_TRUE(out) << "cannot write " << regen;
     out << "# Golden clean-ledger fingerprints (tests/test_golden.cpp).\n"
-        << "# <matrix> <algorithm> <seed-token: 0|1|abft0|sdc0|degrade0> <fingerprint>\n"
+        << "# <matrix> <algorithm> <seed-token: 0|1|abft0|sdc0|degrade0|elastic0> <fingerprint>\n"
         << "# Regenerate: SPTRSV_GOLDEN_REGEN=<path> ./build/tests/test_golden\n";
     for (const auto& [key, fp] : computed) out << key << " " << fp << "\n";
     GTEST_SKIP() << "regenerated " << computed.size() << " entries into " << regen;
